@@ -1,0 +1,39 @@
+"""Extension bench: stochastic fault-injection campaign vs. the
+observed failure overlay.
+
+The paper's future work asks for fault injection over the control
+structure; this bench runs the campaign and checks its qualitative
+agreement with the field data: ML components detect their own faults
+poorly, and the perception system is the dominant failure site in the
+observed overlay.
+"""
+
+from repro.stpa import overlay_failures
+from repro.stpa.fault_injection import FaultInjector
+
+from conftest import write_exhibit
+
+
+def test_fault_injection_campaign(benchmark, db, exhibit_dir):
+    injector = FaultInjector()
+    campaign = benchmark(
+        injector.run_campaign, 300, None, 2018)
+
+    overlay = overlay_failures(db.disengagements)
+
+    lines = ["Fault injection campaign vs observed overlay", ""]
+    lines.append("origin               hazard   detected   observed "
+                 "share")
+    localized = overlay.total - overlay.unlocalized
+    for origin, rate in campaign.hazard_ranking():
+        observed = overlay.by_component.get(origin, 0) / localized
+        lines.append(
+            f"{origin:20s} {rate:6.2%}   "
+            f"{campaign.detection_rate(origin):6.2%}    {observed:6.2%}")
+    write_exhibit(exhibit_dir, "fault_injection", "\n".join(lines))
+
+    # ML self-detection is poor; the substrate detects well.
+    assert campaign.detection_rate("recognition") < 0.7
+    assert campaign.detection_rate("compute") > 0.9
+    # The observed field data localizes mostly to recognition.
+    assert overlay.dominant_component() == "recognition"

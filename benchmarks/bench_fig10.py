@@ -1,0 +1,27 @@
+"""Fig. 10: driver reaction-time distributions.
+
+Paper: ~0.85 s average reaction time across all drivers, long-tailed
+distributions, one ~4-hour Volkswagen outlier.
+"""
+
+import pytest
+
+from repro.analysis.alertness import overall_mean_reaction_time
+from repro.reporting import figures_paper
+
+from conftest import write_exhibit
+
+
+def test_figure10(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure10, db)
+    write_exhibit(exhibit_dir, "figure10", figure.render())
+
+    assert len(figure.boxes) == 6
+    assert overall_mean_reaction_time(db) == pytest.approx(0.85,
+                                                           abs=0.2)
+    vw = figure.box_by_label("Volkswagen").box
+    assert vw.maximum > 10000  # the ~4 h record
+
+    # Long tails: max well above the median everywhere.
+    for box in figure.boxes:
+        assert box.box.maximum > 2 * box.box.median

@@ -1,0 +1,28 @@
+"""Fig. 11: exponentiated-Weibull fits of reaction times.
+
+Paper panels: Mercedes-Benz (tail stretching past 10 s) and Waymo
+(concentrated below ~4 s), both well fit by an exponentiated Weibull.
+"""
+
+from repro.analysis.alertness import fit_reaction_times
+from repro.reporting import figures_paper
+
+from conftest import write_exhibit
+
+
+def test_figure11(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure11, db)
+    write_exhibit(exhibit_dir, "figure11", figure.render())
+
+    benz = fit_reaction_times(db, "Mercedes-Benz")
+    waymo = fit_reaction_times(db, "Waymo")
+    # Goodness of fit: the KS statistic stays small for both panels.
+    assert benz.ks_statistic < 0.1
+    assert waymo.ks_statistic < 0.1
+    # Benz's distribution is wider / longer-tailed than Waymo's.
+    assert benz.mean > waymo.mean
+    benz_times = [t for t in db.reaction_times("Mercedes-Benz")
+                  if t < 600]
+    waymo_times = db.reaction_times("Waymo")
+    assert max(benz_times) > 4.0
+    assert max(waymo_times) <= 5.0

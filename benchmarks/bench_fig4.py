@@ -1,0 +1,26 @@
+"""Fig. 4: distributions of DPM per car across manufacturers.
+
+Paper: most manufacturers have median DPM in [0.01, 0.1] per mile with
+99th percentile around 1/mile; Waymo ~100x better than competitors.
+"""
+
+import numpy as np
+
+from repro.reporting import figures_paper
+
+from conftest import write_exhibit
+
+
+def test_figure4(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure4, db)
+    write_exhibit(exhibit_dir, "figure4", figure.render())
+
+    assert len(figure.boxes) == 8
+    medians = {box.label: box.box.median for box in figure.boxes}
+    waymo = medians.pop("Waymo")
+    # Waymo is roughly two orders of magnitude better.
+    ratio = float(np.median(list(medians.values()))) / waymo
+    assert 20 <= ratio <= 1000
+    # The bulk of manufacturers sit in the paper's [0.01, 1] band.
+    in_band = sum(1 for m in medians.values() if 0.005 <= m <= 1.5)
+    assert in_band >= 5

@@ -1,0 +1,23 @@
+"""Fig. 5: cumulative disengagements vs cumulative miles (log-log).
+
+Paper: strong linear correlation on the log-log axes for every
+manufacturer; nobody's curve has flattened (the "burn-in" finding).
+"""
+
+from repro.reporting import figures_paper
+
+from conftest import write_exhibit
+
+
+def test_figure5(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure5, db)
+    write_exhibit(exhibit_dir, "figure5", figure.render())
+
+    assert len(figure.series) == 8
+    for series in figure.series:
+        # Cumulative counts are monotone...
+        assert series.y == sorted(series.y)
+        # ...and the log-log fit is reported and strong.
+        assert "slope=" in series.annotation
+        r2 = float(series.annotation.split("r2=")[1])
+        assert r2 > 0.8, series.name

@@ -1,0 +1,26 @@
+"""Fig. 6: fault-tag fractions per manufacturer (stacked bars).
+
+Paper: Tesla almost entirely Unknown-T; Waymo with a large system-tag
+share on top of perception tags; Volkswagen dominated by computer
+system / software tags.
+"""
+
+from repro.analysis.categories import tag_fractions
+from repro.reporting import figures_paper
+
+from conftest import write_exhibit
+
+
+def test_figure6(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure6, db)
+    write_exhibit(exhibit_dir, "figure6", figure.render())
+
+    fractions = tag_fractions(
+        db, ["Delphi", "Nissan", "Tesla", "Volkswagen", "Waymo"])
+    assert fractions["Tesla"].get("Unknown-T", 0) > 0.9
+    assert fractions["Waymo"].get("Recognition System", 0) > 0.2
+    vw_system = (fractions["Volkswagen"].get("Computer System", 0)
+                 + fractions["Volkswagen"].get("Software", 0))
+    assert vw_system > 0.4
+    for name, tags in fractions.items():
+        assert abs(sum(tags.values()) - 1.0) < 1e-6, name

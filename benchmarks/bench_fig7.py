@@ -1,0 +1,32 @@
+"""Fig. 7: yearly evolution of DPM distributions.
+
+Paper: distinct decreasing median DPM trend for most manufacturers;
+Waymo shows ~8x median decrease across the three years; Bosch is the
+worsening exception.
+"""
+
+import numpy as np
+
+from repro.analysis.dpm import yearly_dpm_distributions
+from repro.reporting import figures_paper
+
+from conftest import write_exhibit
+
+
+def test_figure7(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure7, db)
+    write_exhibit(exhibit_dir, "figure7", figure.render())
+
+    yearly = yearly_dpm_distributions(db)
+
+    waymo = {year: float(np.median(values))
+             for year, values in yearly["Waymo"].items()}
+    ratio = waymo[2014] / max(waymo[2016], 1e-12)
+    assert 3 <= ratio <= 30  # paper: ~8x decrease
+
+    bosch = {year: float(np.median(values))
+             for year, values in yearly["Bosch"].items()}
+    assert bosch[max(bosch)] > bosch[min(bosch)]  # worsening
+
+    labels = {box.label for box in figure.boxes}
+    assert {"Waymo 2014", "Waymo 2015", "Waymo 2016"} <= labels

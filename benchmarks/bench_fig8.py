@@ -1,0 +1,22 @@
+"""Fig. 8: pooled log(DPM) vs log(cumulative miles) correlation.
+
+Paper: Pearson r = -0.87 at p = 7e-56.
+"""
+
+import pytest
+
+from repro.analysis.maturity import pooled_dpm_correlation
+from repro.reporting import figures_paper
+from repro.reporting.tables_paper import ANALYSIS_ORDER
+
+from conftest import write_exhibit
+
+
+def test_figure8(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure8, db)
+    write_exhibit(exhibit_dir, "figure8", figure.render())
+
+    result = pooled_dpm_correlation(db, list(ANALYSIS_ORDER))
+    assert result.r == pytest.approx(-0.87, abs=0.08)
+    assert result.p_value < 1e-30
+    assert result.n > 100  # one point per manufacturer-month

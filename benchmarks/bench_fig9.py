@@ -1,0 +1,27 @@
+"""Fig. 9: DPM vs cumulative miles per manufacturer with fits.
+
+Paper: negative regression slopes for nearly all manufacturers
+(continuous ADS improvement); steeper improvement for manufacturers
+starting from higher DPM ("low-hanging fruit"); Bosch the exception.
+"""
+
+from repro.analysis.maturity import all_assessments
+from repro.reporting import figures_paper
+from repro.reporting.tables_paper import ANALYSIS_ORDER
+
+from conftest import write_exhibit
+
+
+def test_figure9(benchmark, db, exhibit_dir):
+    figure = benchmark(figures_paper.figure9, db)
+    write_exhibit(exhibit_dir, "figure9", figure.render())
+
+    assessments = all_assessments(db, list(ANALYSIS_ORDER))
+    slopes = {name: a.dpm_fit.slope
+              for name, a in assessments.items()
+              if a.dpm_fit is not None}
+    negative = [name for name, slope in slopes.items() if slope < 0]
+    assert len(negative) >= 6
+    assert slopes["Bosch"] > 0          # the worsening exception
+    assert slopes["Waymo"] < -0.3       # strong improvement
+    assert not any(a.mature for a in assessments.values())

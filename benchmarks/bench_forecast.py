@@ -1,0 +1,36 @@
+"""Extension bench: backtesting the Fig. 9 power-law trend model.
+
+Trains ``log DPM ~ log cumulative miles`` on each manufacturer's first
+60% of months and predicts the holdout disengagement counts from the
+known mileage.
+"""
+
+from repro.analysis.forecast import backtest_all
+
+from conftest import write_exhibit
+
+
+def test_forecast_backtests(benchmark, db, exhibit_dir):
+    forecasts = benchmark(backtest_all, db)
+
+    lines = ["Backtest of the log-log DPM trend model "
+             "(train 60% of months, predict the rest)", ""]
+    lines.append(f"{'manufacturer':15s} {'slope':>7s} {'pred':>6s} "
+                 f"{'actual':>6s} {'error':>6s}")
+    for name, forecast in sorted(forecasts.items()):
+        lines.append(
+            f"{name:15s} {forecast.fit.slope:+7.2f} "
+            f"{forecast.predicted_total:6.0f} "
+            f"{forecast.actual_total:6d} "
+            f"{forecast.total_error:6.2f}")
+    write_exhibit(exhibit_dir, "forecast", "\n".join(lines))
+
+    assert len(forecasts) >= 6
+    # The model is a usable predictor for most reporters...
+    useful = [f for f in forecasts.values() if f.total_error < 1.0]
+    assert len(useful) >= 4
+    # ...the Bosch trend is positive (planned-test escalation), and
+    # Waymo's holdout shows it improving faster than its own trend.
+    assert forecasts["Bosch"].fit.slope > 0
+    assert forecasts["Waymo"].predicted_total > \
+        forecasts["Waymo"].actual_total

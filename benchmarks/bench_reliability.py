@@ -1,0 +1,46 @@
+"""Extension bench: the per-mission reliability model (Sec. V-C2).
+
+Checks the Table VIII arithmetic from the model side: the survival
+probabilities at the 10-mile median trip reproduce the APMi column,
+and the crossover trip length behaves sensibly.
+"""
+
+import pytest
+
+from repro.analysis.reliability import (
+    build_mission_model,
+    crossover_trip_length,
+    mission_survival_curve,
+)
+from repro.calibration.baselines import MEDIAN_TRIP_MILES
+
+from conftest import write_exhibit
+
+
+def test_mission_reliability(benchmark, db, exhibit_dir):
+    model = benchmark(build_mission_model, db, "Waymo")
+
+    lines = ["Per-mission reliability model (Waymo)", ""]
+    lines.append(f"miles between disengagements: "
+                 f"{model.miles_between_disengagements():,.0f}")
+    lines.append(f"miles between accidents:      "
+                 f"{model.miles_between_accidents():,.0f}")
+    curve = mission_survival_curve(model, [1, 10, 50, 100, 500])
+    lines.append("")
+    lines.append("trip mi   P(no disengagement)  P(no accident)")
+    for length, p_dis, p_acc in curve:
+        lines.append(f"{length:7.0f}   {p_dis:18.4f}  {p_acc:.6f}")
+    crossover = crossover_trip_length(model)
+    lines.append("")
+    lines.append(f"AV-beats-airline crossover trip length: "
+                 f"{crossover:.2f} miles")
+    write_exhibit(exhibit_dir, "reliability_model", "\n".join(lines))
+
+    # P(accident on a 10-mile trip) ~ APMi of Table VIII.
+    p_accident = 1.0 - model.p_accident_free(MEDIAN_TRIP_MILES)
+    assert p_accident == pytest.approx(model.apm * 10, rel=0.01)
+    # The crossover sits below the median trip (AVs lose at 10 miles).
+    assert crossover < MEDIAN_TRIP_MILES
+    # ~2,300 miles between Waymo disengagements (464 over ~1.06M).
+    assert model.miles_between_disengagements() == pytest.approx(
+        2285, rel=0.15)

@@ -1,0 +1,60 @@
+"""Extension bench: the trip-level micro-simulator vs. field data.
+
+Calibrates the generative model from the field database and checks
+that the simulated fleet reproduces the field DPM/DPA statistics and
+the paper's alertness counterfactual (less alert drivers -> more
+accidents).
+"""
+
+import pytest
+
+from repro.simulator import (
+    DriverConfig,
+    SimulatorConfig,
+    calibrate_from_database,
+    simulate_fleet,
+)
+
+from conftest import write_exhibit
+
+
+def test_simulator_vs_field(benchmark, db, exhibit_dir):
+    config = calibrate_from_database(db, "Delphi")
+    fleet = benchmark.pedantic(
+        simulate_fleet, args=(config, 30000), kwargs={"seed": 2018},
+        rounds=1, iterations=1)
+
+    field_records = db.disengagements_by_manufacturer()["Delphi"]
+    field_miles = db.miles_by_manufacturer()["Delphi"]
+    field_dpm = len(field_records) / field_miles
+
+    # Alertness counterfactual: halve attention (4x reaction times).
+    tired = SimulatorConfig(
+        dpm=config.dpm,
+        median_trip_miles=config.median_trip_miles,
+        trip_sigma=config.trip_sigma,
+        driver=DriverConfig(
+            reaction_a=config.driver.reaction_a,
+            reaction_c=config.driver.reaction_c,
+            reaction_scale=config.driver.reaction_scale,
+            alertness_factor=4.0,
+            proactive_share=config.driver.proactive_share),
+        traffic=config.traffic)
+    tired_fleet = simulate_fleet(tired, trips=30000, seed=2018)
+
+    lines = ["Trip-level simulator vs field data (Delphi)", ""]
+    lines.append(f"DPM: field {field_dpm:.4g}, simulated "
+                 f"{fleet.dpm:.4g}")
+    lines.append(f"DPA: field 572, simulated "
+                 f"{fleet.dpa and round(fleet.dpa)}")
+    lines.append(f"manual share: simulated {fleet.manual_share:.2f}")
+    lines.append(f"mean response window: {fleet.mean_window_s:.2f} s")
+    lines.append("")
+    lines.append("Alertness counterfactual (reaction times x4):")
+    lines.append(f"  accidents {fleet.accidents} -> "
+                 f"{tired_fleet.accidents} over the same exposure")
+    write_exhibit(exhibit_dir, "simulator", "\n".join(lines))
+
+    assert fleet.dpm == pytest.approx(field_dpm, rel=0.1)
+    assert fleet.dpa is not None and 100 <= fleet.dpa <= 4000
+    assert tired_fleet.accidents > fleet.accidents

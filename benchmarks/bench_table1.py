@@ -1,0 +1,25 @@
+"""Table I: fleet size, miles, and incidents per manufacturer.
+
+Paper: 144 cars, 1,116,605 miles, 5,328 disengagements, 42 accidents
+(totals row: 61/460,384.1/2,896/10 then 83/656,221/2,432/32).
+"""
+
+import pytest
+
+from repro.reporting import tables_paper
+
+from conftest import write_exhibit
+
+
+def test_table1(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table1, db)
+    write_exhibit(exhibit_dir, "table1", table.render())
+
+    total = table.row_for("Total")
+    assert total[2] + total[6] == pytest.approx(1116605, rel=0.03)
+    assert total[3] + total[7] == pytest.approx(5328, abs=20)
+    assert total[4] + total[8] == 42
+    waymo = table.row_for("Waymo")
+    assert waymo[1] == 49 and waymo[5] == 70
+    assert waymo[2] == pytest.approx(424332, rel=0.05)
+    assert waymo[6] == pytest.approx(635868, rel=0.05)

@@ -1,0 +1,22 @@
+"""Table II: sample raw disengagement logs with tag/category mapping.
+
+Paper shows four representative rows: Nissan (System/Software), Nissan
+(ML/Design / Recognition System), Waymo (ML/Design / Environment), and
+Volkswagen (System / Computer System watchdog).
+"""
+
+from repro.reporting import tables_paper
+
+from conftest import write_exhibit
+
+
+def test_table2(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table2, db)
+    write_exhibit(exhibit_dir, "table2", table.render())
+
+    assert len(table.rows) == 4
+    categories = table.column("Category")
+    assert "System" in categories and "ML/Design" in categories
+    tags = table.column("Tag")
+    assert "Environment" in tags
+    assert "Hang/Crash" in tags

@@ -1,0 +1,19 @@
+"""Table III: fault tag and category definitions (the ontology)."""
+
+from repro.reporting import tables_paper
+from repro.taxonomy import FaultTag
+
+from conftest import write_exhibit
+
+
+def test_table3(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table3, db)
+    write_exhibit(exhibit_dir, "table3", table.render())
+
+    assert len(table.rows) == len(FaultTag)
+    tags = table.column("Tag")
+    for expected in ("Environment", "Computer System",
+                     "Recognition System", "Planner", "Sensor",
+                     "Network", "Design Bug", "Software",
+                     "AV Controller", "Hang/Crash"):
+        assert expected in tags

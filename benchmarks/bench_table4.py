@@ -1,0 +1,35 @@
+"""Table IV: disengagements by root failure category (percent).
+
+Paper rows (ML-planner / ML-perception / System / Unknown-C):
+  Delphi     37.59 / 50.17 / 12.24 / 0
+  Nissan     36.30 / 49.63 / 14.07 / 0
+  Tesla       0.00 /  0.00 /  1.65 / 98.35
+  Volkswagen  0.00 /  3.08 / 83.08 / 13.85
+  Waymo      10.13 / 53.45 / 36.42 / 0
+"""
+
+import pytest
+
+from repro.reporting import tables_paper
+
+from conftest import write_exhibit
+
+PAPER = {
+    "Delphi": (37.59, 50.17, 12.24, 0.0),
+    "Nissan": (36.30, 49.63, 14.07, 0.0),
+    "Tesla": (0.0, 0.0, 1.65, 98.35),
+    "Volkswagen": (0.0, 3.08, 83.08, 13.85),
+    "Waymo": (10.13, 53.45, 36.42, 0.0),
+}
+
+
+def test_table4(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table4, db)
+    write_exhibit(exhibit_dir, "table4", table.render())
+
+    for name, expected in PAPER.items():
+        row = table.row_for(name)
+        assert row is not None, name
+        # Within 6 percentage points of the paper (NLP channel noise).
+        for measured, paper in zip(row[1:], expected):
+            assert measured == pytest.approx(paper, abs=6.0), name

@@ -1,0 +1,34 @@
+"""Table V: disengagement modality distribution (percent).
+
+Paper rows (automatic/manual/planned):
+  Benz 47.11/52.89/0, Bosch 0/0/100, GMCruise 0/0/100,
+  Nissan 54.2/45.8/0, Tesla 98.35/1.65/0, Volkswagen 100/0/0,
+  Waymo 50.32/49.67/0.
+"""
+
+import pytest
+
+from repro.reporting import tables_paper
+
+from conftest import write_exhibit
+
+PAPER = {
+    "Mercedes-Benz": (47.11, 52.89, 0.0),
+    "Bosch": (0.0, 0.0, 100.0),
+    "GMCruise": (0.0, 0.0, 100.0),
+    "Nissan": (54.2, 45.8, 0.0),
+    "Tesla": (98.35, 1.65, 0.0),
+    "Volkswagen": (100.0, 0.0, 0.0),
+    "Waymo": (50.32, 49.67, 0.0),
+}
+
+
+def test_table5(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table5, db)
+    write_exhibit(exhibit_dir, "table5", table.render())
+
+    for name, expected in PAPER.items():
+        row = table.row_for(name)
+        assert row is not None, name
+        for measured, paper in zip(row[1:], expected):
+            assert measured == pytest.approx(paper, abs=5.0), name

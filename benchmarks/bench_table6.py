@@ -1,0 +1,34 @@
+"""Table VI: accidents, fraction of total, and DPA per manufacturer.
+
+Paper: Waymo 25 (59.52%, DPA 18), Delphi 1 (2.38%, 572), Nissan 1
+(2.38%, 135), GMCruise 14 (33.33%, 20), Uber ATC 1 (2.38%, -).
+"""
+
+import pytest
+
+from repro.reporting import tables_paper
+
+from conftest import write_exhibit
+
+PAPER = {
+    "Waymo": (25, 59.52, 18.0),
+    "Delphi": (1, 2.38, 572.0),
+    "Nissan": (1, 2.38, 135.0),
+    "GMCruise": (14, 33.33, 20.0),
+    "Uber ATC": (1, 2.38, None),
+}
+
+
+def test_table6(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table6, db)
+    write_exhibit(exhibit_dir, "table6", table.render())
+
+    for name, (accidents, fraction, dpa) in PAPER.items():
+        row = table.row_for(name)
+        assert row is not None, name
+        assert row[1] == accidents
+        assert row[2] == pytest.approx(fraction, abs=0.1)
+        if dpa is None:
+            assert row[3] is None
+        else:
+            assert row[3] == pytest.approx(dpa, rel=0.05)

@@ -1,0 +1,26 @@
+"""Table VIII: AVs vs airplanes and surgical robots per mission.
+
+Paper: Waymo APMi 4.14e-4 -> 4.22x worse than airlines, 0.0398 of the
+surgical-robot rate; GMCruise 902x worse than airlines and 8.5x worse
+than surgical robots.
+"""
+
+from repro.reporting import tables_paper
+
+from conftest import write_exhibit
+
+
+def test_table8(benchmark, db, exhibit_dir):
+    table = benchmark(tables_paper.table8, db)
+    write_exhibit(exhibit_dir, "table8", table.render())
+
+    names = [row[0] for row in table.rows]
+    assert names == ["Waymo", "Delphi", "Nissan", "GMCruise"]
+
+    waymo = table.row_for("Waymo")
+    assert 1.0 <= waymo[2] <= 10.0       # paper: 4.22x vs airlines
+    assert waymo[3] < 0.5                # paper: 0.0398 vs SR
+
+    gm = table.row_for("GMCruise")
+    assert gm[2] > 100                   # paper: 902x vs airlines
+    assert gm[3] > 1                     # paper: 8.5x vs SR

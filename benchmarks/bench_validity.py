@@ -1,0 +1,59 @@
+"""Extension bench: threats-to-validity instruments.
+
+Seed sensitivity of the headline metrics (our analogue of replication
+across datasets), bootstrap CIs for the medians, and the
+underreporting sweep.
+"""
+
+import pytest
+
+from repro.analysis.validity import (
+    median_dpm_ci,
+    seed_sensitivity,
+    underreporting_sweep,
+)
+
+from conftest import write_exhibit
+
+SEEDS = (2018, 7, 42)
+SUBSET = ["Nissan", "Volkswagen", "Delphi", "Tesla", "Waymo",
+          "Mercedes-Benz"]
+
+
+def test_seed_sensitivity(benchmark, exhibit_dir):
+    results = benchmark.pedantic(
+        seed_sensitivity, args=(SEEDS, SUBSET), rounds=1, iterations=1)
+
+    lines = ["Seed sensitivity of headline metrics "
+             f"(seeds={SEEDS}, subset of manufacturers)", ""]
+    for metric, sweep in results.items():
+        lines.append(f"{metric:25s} mean={sweep.mean:.4f} "
+                     f"std={sweep.std:.4f} spread={sweep.spread:.4f}")
+    write_exhibit(exhibit_dir, "validity_seeds", "\n".join(lines))
+
+    # The headline conclusions must be stable across corpora.
+    assert results["pooled_r"].mean == pytest.approx(-0.85, abs=0.1)
+    assert results["pooled_r"].spread < 0.15
+    assert results["tag_accuracy"].mean > 0.95
+    assert results["mean_reaction_time_s"].spread < 0.2
+
+
+def test_bootstrap_and_underreporting(benchmark, db, exhibit_dir):
+    ci = benchmark(median_dpm_ci, db, "Waymo")
+    sweep = underreporting_sweep(db, factors=(1.0, 2.0, 5.0))
+
+    lines = [
+        "Bootstrap CI for Waymo median per-car DPM (95%):",
+        f"  {ci.statistic:.3e} in [{ci.low:.3e}, {ci.high:.3e}]",
+        "",
+        "Underreporting sweep (disengagement counts scaled):",
+    ]
+    for point in sweep:
+        lines.append(
+            f"  factor {point.factor:4.1f}: DPM x{point.dpm_scale:.1f}, "
+            f"AV-worse-than-human conclusion holds: "
+            f"{point.still_worse_than_human}")
+    write_exhibit(exhibit_dir, "validity_bootstrap", "\n".join(lines))
+
+    assert ci.low <= ci.statistic <= ci.high
+    assert all(p.still_worse_than_human for p in sweep)

@@ -1,0 +1,61 @@
+"""Stochastic fault injection over the Fig. 3 control structure.
+
+The paper's conclusion calls for assessing the ML subsystems "under
+fault conditions via stochastic modeling and fault injection"; this
+example runs that campaign and cross-checks the hazard ranking against
+the observed field-data overlay, then explores how better ML
+self-detection would change the hazard rates.
+
+Usage::
+
+    python examples/fault_injection_campaign.py [injections]
+"""
+
+import sys
+
+from repro import PipelineConfig, run_pipeline
+from repro.stpa import overlay_failures
+from repro.stpa.fault_injection import DEFAULT_DETECTION, FaultInjector
+
+
+def main() -> None:
+    injections = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+
+    print(f"Baseline campaign ({injections} injections per "
+          "component)...")
+    injector = FaultInjector()
+    campaign = injector.run_campaign(
+        injections_per_component=injections, seed=2018)
+
+    result = run_pipeline(PipelineConfig(seed=2018))
+    overlay = overlay_failures(result.database.disengagements)
+    localized = overlay.total - overlay.unlocalized
+
+    print(f"\n{'origin':20s} {'hazard':>8s} {'detected':>9s} "
+          f"{'field share':>12s}")
+    for origin, rate in campaign.hazard_ranking():
+        observed = overlay.by_component.get(origin, 0) / localized
+        print(f"{origin:20s} {rate:8.2%} "
+              f"{campaign.detection_rate(origin):9.2%} "
+              f"{observed:12.2%}")
+
+    print("\nWhat if perception could detect its own faults like the "
+          "watchdogged substrate?")
+    improved_detection = dict(DEFAULT_DETECTION)
+    improved_detection["recognition"] = 0.8
+    improved_detection["planner_controller"] = 0.8
+    improved = FaultInjector(detection=improved_detection).run_campaign(
+        injections_per_component=injections, seed=2018)
+    for origin in ("recognition", "planner_controller"):
+        before = campaign.hazard_rate(origin)
+        after = improved.hazard_rate(origin)
+        print(f"  {origin:20s} hazard {before:.2%} -> {after:.2%} "
+              f"({(1 - after / max(before, 1e-9)):.0%} reduction)")
+
+    print("\nTakeaway: raising ML fault self-detection to substrate "
+          "levels cuts the\nhazard rate of perception/planning faults "
+          "— the design direction the\npaper's conclusions argue for.")
+
+
+if __name__ == "__main__":
+    main()

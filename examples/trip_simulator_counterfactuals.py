@@ -1,0 +1,79 @@
+"""Trip-level simulation: validate field statistics generatively and
+run the counterfactuals the paper can only argue verbally.
+
+1. Calibrate the simulator to a manufacturer's field data.
+2. Check the simulated fleet reproduces the field DPM and DPA.
+3. Counterfactual A — driver alertness degrades (reaction times x2,
+   x4): how fast do accidents rise?
+4. Counterfactual B — the ADS halves its fault-detection latency.
+5. Counterfactual C — other drivers learn to anticipate AV behavior
+   (anticipation accidents -> 0).
+
+Usage::
+
+    python examples/trip_simulator_counterfactuals.py [manufacturer]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import PipelineConfig, run_pipeline
+from repro.simulator import calibrate_from_database, simulate_fleet
+
+TRIPS = 30000
+
+
+def main() -> None:
+    manufacturer = sys.argv[1] if len(sys.argv) > 1 else "Delphi"
+    print("Running the pipeline to calibrate against field data...")
+    db = run_pipeline(PipelineConfig(seed=2018)).database
+
+    config = calibrate_from_database(db, manufacturer)
+    field_records = db.disengagements_by_manufacturer()[manufacturer]
+    field_miles = db.miles_by_manufacturer()[manufacturer]
+    field_accidents = len(
+        db.accidents_by_manufacturer().get(manufacturer, []))
+
+    baseline = simulate_fleet(config, trips=TRIPS, seed=2018)
+    print(f"\n=== {manufacturer}: baseline validation ===")
+    print(f"  DPM   field {len(field_records) / field_miles:.4g}  "
+          f"simulated {baseline.dpm:.4g}")
+    if field_accidents and baseline.dpa:
+        field_dpa = len(field_records) / field_accidents
+        print(f"  DPA   field {field_dpa:.0f}  "
+              f"simulated {baseline.dpa:.0f}")
+    print(f"  manual share simulated {baseline.manual_share:.2f}")
+    print(f"  mean response window {baseline.mean_window_s:.2f} s")
+
+    print("\n=== Counterfactual A: driver alertness degrades ===")
+    for factor in (2.0, 4.0):
+        tired = replace(config, driver=replace(
+            config.driver, alertness_factor=factor))
+        fleet = simulate_fleet(tired, trips=TRIPS, seed=2018)
+        print(f"  reaction x{factor:.0f}: accidents "
+              f"{baseline.accidents} -> {fleet.accidents}, "
+              f"APM {baseline.apm:.3g} -> {fleet.apm:.3g}")
+
+    print("\n=== Counterfactual B: faster fault detection ===")
+    faster = replace(config, traffic=replace(
+        config.traffic,
+        mean_detection_latency_s=(
+            config.traffic.mean_detection_latency_s / 2)))
+    fleet = simulate_fleet(faster, trips=TRIPS, seed=2018)
+    print(f"  detection latency halved: reaction accidents "
+          f"{baseline.reaction_accidents} -> "
+          f"{fleet.reaction_accidents}")
+
+    print("\n=== Counterfactual C: other drivers anticipate AVs ===")
+    anticipating = replace(config, traffic=replace(
+        config.traffic, anticipation_accident_rate_per_mile=0.0))
+    fleet = simulate_fleet(anticipating, trips=TRIPS, seed=2018)
+    print(f"  anticipation failures eliminated: accidents "
+          f"{baseline.accidents} -> {fleet.accidents}")
+    print("\nThe asymmetry matches the paper: a large share of AV "
+          "accidents are caused\nby other road users misreading the "
+          "AV, so ADS-side fixes alone cannot\nremove them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""One-command reproduction driver.
+
+Runs the test suite, the full benchmark harness, regenerates
+EXPERIMENTS.md, and leaves the rendered exhibits under
+``benchmarks/output/``.
+
+Usage::
+
+    python scripts/run_all.py [--skip-tests] [--skip-benches]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(label: str, command: list[str]) -> int:
+    print(f"\n=== {label}: {' '.join(command)} ===", flush=True)
+    return subprocess.call(command, cwd=ROOT)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--skip-tests", action="store_true")
+    parser.add_argument("--skip-benches", action="store_true")
+    args = parser.parse_args()
+
+    failures = 0
+    if not args.skip_tests:
+        failures += _run("tests", [
+            sys.executable, "-m", "pytest", "tests/", "-q"])
+    if not args.skip_benches:
+        failures += _run("benchmarks", [
+            sys.executable, "-m", "pytest", "benchmarks/",
+            "--benchmark-only", "-q"])
+    failures += _run("experiments", [
+        sys.executable, "scripts/generate_experiments_md.py"])
+
+    print()
+    if failures:
+        print(f"DONE WITH FAILURES ({failures} step(s) failed)")
+        return 1
+    print("DONE — exhibits in benchmarks/output/, comparison in "
+          "EXPERIMENTS.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The pinned offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``python setup.py develop`` (and therefore
+``pip install -e . --no-build-isolation``) works through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — a reproduction of *Hands Off the Wheel in Autonomous
+Vehicles? A Systems Perspective on over a Million Miles of Field Data*
+(Banerjee et al., DSN 2018).
+
+The library implements the paper's full pipeline over a calibrated
+synthetic CA DMV corpus:
+
+* Stage I  — :mod:`repro.synth`: corpus synthesis (the data substitute).
+* Stage I' — :mod:`repro.ocr`: the scanned-document/OCR channel.
+* Stage II — :mod:`repro.parsing`: per-manufacturer parsing and
+  normalization into canonical records.
+* Stage III — :mod:`repro.nlp`: failure dictionary + voting tagger.
+* Stage IV — :mod:`repro.analysis`: the statistical analyses.
+* :mod:`repro.stpa` — the STPA control-structure model of Fig. 3.
+* :mod:`repro.reporting` — regenerates every table and figure.
+
+Quickstart::
+
+    from repro import run_pipeline, PipelineConfig
+    from repro.reporting import run_experiment
+
+    result = run_pipeline(PipelineConfig(seed=2018))
+    print(run_experiment("table7", result.database).render())
+"""
+
+from .errors import (
+    AnalysisError,
+    CalibrationError,
+    FieldCoercionError,
+    InsufficientDataError,
+    NlpError,
+    OcrError,
+    OntologyError,
+    ParseError,
+    PipelineError,
+    ReproError,
+    StpaError,
+    SynthesisError,
+    UnknownFormatError,
+)
+from .pipeline import (
+    FailureDatabase,
+    PipelineConfig,
+    PipelineResult,
+    process_corpus,
+    run_pipeline,
+)
+from .rng import DEFAULT_SEED
+from .synth import SyntheticCorpus, generate_corpus
+from .taxonomy import FailureCategory, FaultTag, Modality
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_SEED",
+    "FailureCategory",
+    "FaultTag",
+    "Modality",
+    "FailureDatabase",
+    "PipelineConfig",
+    "PipelineResult",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "process_corpus",
+    "run_pipeline",
+    # Errors.
+    "ReproError",
+    "CalibrationError",
+    "SynthesisError",
+    "OcrError",
+    "ParseError",
+    "FieldCoercionError",
+    "UnknownFormatError",
+    "NlpError",
+    "OntologyError",
+    "StpaError",
+    "PipelineError",
+    "AnalysisError",
+    "InsufficientDataError",
+]

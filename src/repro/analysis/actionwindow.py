@@ -1,0 +1,126 @@
+"""Action-window risk model (Sec. V-A4).
+
+The paper: "the detection time is indeed part of the end-to-end time
+window in which the driver reacts to an adverse situation ... the
+small size of the overall action window (detection time + reaction
+time) can make the reaction-time-based accidents a frequent failure
+mode."
+
+This module makes that argument quantitative: given the fitted
+reaction-time distribution and a detection-latency model, compute the
+probability that (detection + reaction) exceeds the time budget a
+traffic scenario allows — and how that risk scales with speed and
+following distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError, InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from ..rng import child_generator
+from .fitting import ExponWeibullFit
+
+#: Feet per second per mph.
+FT_PER_S_PER_MPH = 1.46667
+
+
+@dataclass(frozen=True)
+class DetectionModel:
+    """Exponential fault-detection latency (seconds)."""
+
+    mean_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.mean_latency_s < 0:
+            raise AnalysisError("detection latency must be >= 0")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` detection latencies."""
+        if self.mean_latency_s == 0:
+            return np.zeros(n)
+        return rng.exponential(self.mean_latency_s, size=n)
+
+
+@dataclass(frozen=True)
+class ActionWindowRisk:
+    """Monte-Carlo estimate of P(response time > budget)."""
+
+    budget_s: float
+    exceed_probability: float
+    mean_window_s: float
+    p95_window_s: float
+    samples: int
+
+
+def time_budget_from_gap(gap_feet: float, closing_speed_mph: float,
+                         ) -> float:
+    """Time budget (s) to react before a gap closes at a speed."""
+    if gap_feet <= 0:
+        raise AnalysisError("gap must be positive")
+    if closing_speed_mph <= 0:
+        raise AnalysisError("closing speed must be positive")
+    return gap_feet / (closing_speed_mph * FT_PER_S_PER_MPH)
+
+
+def action_window_risk(reaction_fit: ExponWeibullFit,
+                       detection: DetectionModel,
+                       budget_s: float,
+                       samples: int = 20000,
+                       seed: int = 0) -> ActionWindowRisk:
+    """P(detection + reaction exceeds ``budget_s``), by Monte Carlo."""
+    if budget_s <= 0:
+        raise AnalysisError("time budget must be positive")
+    if samples < 100:
+        raise AnalysisError("need at least 100 samples")
+    rng = child_generator(seed, "action-window")
+    from scipy import stats as sstats
+
+    reactions = sstats.exponweib.rvs(
+        reaction_fit.a, reaction_fit.c, scale=reaction_fit.scale,
+        size=samples, random_state=rng)
+    detections = detection.sample(samples, rng)
+    windows = reactions + detections
+    return ActionWindowRisk(
+        budget_s=budget_s,
+        exceed_probability=float(np.mean(windows > budget_s)),
+        mean_window_s=float(windows.mean()),
+        p95_window_s=float(np.percentile(windows, 95)),
+        samples=samples,
+    )
+
+
+def risk_curve(reaction_fit: ExponWeibullFit,
+               detection: DetectionModel,
+               gap_feet: float,
+               speeds_mph: list[float],
+               samples: int = 20000,
+               seed: int = 0) -> list[tuple[float, float]]:
+    """(speed, exceed probability) for a fixed gap across speeds."""
+    curve = []
+    for speed in speeds_mph:
+        budget = time_budget_from_gap(gap_feet, speed)
+        risk = action_window_risk(
+            reaction_fit, detection, budget, samples, seed)
+        curve.append((speed, risk.exceed_probability))
+    return curve
+
+
+def manufacturer_risk(db: FailureDatabase, manufacturer: str,
+                      budget_s: float,
+                      detection_mean_s: float = 0.5,
+                      samples: int = 20000,
+                      seed: int = 0) -> ActionWindowRisk:
+    """Action-window risk using a manufacturer's fitted reaction
+    times."""
+    from .alertness import fit_reaction_times
+
+    try:
+        fit = fit_reaction_times(db, manufacturer)
+    except InsufficientDataError:
+        raise
+    return action_window_risk(
+        fit, DetectionModel(detection_mean_s), budget_s, samples, seed)

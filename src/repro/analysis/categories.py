@@ -1,0 +1,188 @@
+"""Fault categorization: Question 2, Tables IV-V, Fig. 6.
+
+Operates on the NLP-assigned tags of the consolidated database (pass
+``use_truth=True`` to validate against the synthesizer's ground
+truth).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from ..pipeline.store import FailureDatabase
+from ..taxonomy import (
+    FailureCategory,
+    FaultTag,
+    Modality,
+    MlSubcategory,
+    category_of,
+    ml_subcategory_of,
+)
+
+
+def _tag_of(record, use_truth: bool) -> FaultTag | None:
+    return record.truth_tag if use_truth else record.tag
+
+
+def tag_fractions(db: FailureDatabase,
+                  manufacturers: list[str] | None = None,
+                  use_truth: bool = False,
+                  ) -> dict[str, dict[str, float]]:
+    """Fig. 6: fraction of disengagements per fault tag (display name).
+
+    The two AV Controller tags collapse to one display name, as in the
+    figure's legend.
+    """
+    names = manufacturers if manufacturers is not None \
+        else db.manufacturers()
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        counts: Counter = Counter()
+        total = 0
+        for record in db.disengagements:
+            if record.manufacturer != name:
+                continue
+            tag = _tag_of(record, use_truth)
+            if tag is None:
+                continue
+            counts[tag.display_name] += 1
+            total += 1
+        if total:
+            out[name] = {tag: count / total
+                         for tag, count in sorted(counts.items())}
+    return out
+
+
+def category_percentages(db: FailureDatabase,
+                         manufacturers: list[str] | None = None,
+                         use_truth: bool = False,
+                         ) -> dict[str, dict[str, float]]:
+    """Table IV: percentage per root failure category.
+
+    Columns: ``ML-Planner/Controller``, ``ML-Perception/Recognition``,
+    ``System``, ``Unknown-C`` (percentages summing to ~100 per row).
+    """
+    names = manufacturers if manufacturers is not None \
+        else db.manufacturers()
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        counts = {"ML-Planner/Controller": 0,
+                  "ML-Perception/Recognition": 0,
+                  "System": 0, "Unknown-C": 0}
+        total = 0
+        for record in db.disengagements:
+            if record.manufacturer != name:
+                continue
+            tag = _tag_of(record, use_truth)
+            if tag is None:
+                continue
+            total += 1
+            category = category_of(tag)
+            if category is FailureCategory.ML_DESIGN:
+                sub = ml_subcategory_of(tag)
+                if sub is MlSubcategory.PLANNER:
+                    counts["ML-Planner/Controller"] += 1
+                else:
+                    counts["ML-Perception/Recognition"] += 1
+            elif category is FailureCategory.SYSTEM:
+                counts["System"] += 1
+            else:
+                counts["Unknown-C"] += 1
+        if total:
+            out[name] = {key: 100.0 * value / total
+                         for key, value in counts.items()}
+    return out
+
+
+def overall_category_shares(db: FailureDatabase,
+                            exclude: tuple[str, ...] = ("Tesla",),
+                            use_truth: bool = False) -> dict[str, float]:
+    """Headline shares across manufacturers (paper Sec. V-A2).
+
+    Tesla is excluded by default, as in the paper ("we ignore the
+    numbers for Tesla, as most of their categorical labels are marked
+    Unknown-C").  Returns fractions for perception, planner, system,
+    unknown, and the combined ML/Design share (the 64% claim).
+    """
+    counts = Counter()
+    total = 0
+    for record in db.disengagements:
+        if record.manufacturer in exclude:
+            continue
+        tag = _tag_of(record, use_truth)
+        if tag is None:
+            continue
+        total += 1
+        category = category_of(tag)
+        if category is FailureCategory.ML_DESIGN:
+            sub = ml_subcategory_of(tag)
+            key = ("planner" if sub is MlSubcategory.PLANNER
+                   else "perception")
+        elif category is FailureCategory.SYSTEM:
+            key = "system"
+        else:
+            key = "unknown"
+        counts[key] += 1
+    if not total:
+        return {}
+    shares = {key: counts[key] / total
+              for key in ("perception", "planner", "system", "unknown")}
+    shares["ml_design"] = shares["perception"] + shares["planner"]
+    return shares
+
+
+def modality_percentages(db: FailureDatabase,
+                         manufacturers: list[str] | None = None,
+                         ) -> dict[str, dict[str, float]]:
+    """Table V: percentage per modality (automatic/manual/planned)."""
+    names = manufacturers if manufacturers is not None \
+        else db.manufacturers()
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        counts = {modality: 0 for modality in Modality}
+        total = 0
+        for record in db.disengagements:
+            if record.manufacturer != name or record.modality is None:
+                continue
+            counts[record.modality] += 1
+            total += 1
+        if total:
+            out[name] = {modality.value: 100.0 * count / total
+                         for modality, count in counts.items()}
+    return out
+
+
+def automatic_share(db: FailureDatabase,
+                    weighted: bool = False) -> float:
+    """Average share of disengagements initiated automatically.
+
+    The paper's ~48% is the unweighted average of the Table V
+    automatic percentages across manufacturers ("note that this
+    measurement is biased by manufacturers like Mercedes-Benz and
+    Waymo that report a larger number of disengagements").  Pass
+    ``weighted=True`` for the event-weighted share instead.
+    """
+    if weighted:
+        automatic = 0
+        total = 0
+        for record in db.disengagements:
+            if record.modality in (Modality.AUTOMATIC, Modality.MANUAL):
+                total += 1
+                if record.modality is Modality.AUTOMATIC:
+                    automatic += 1
+        return automatic / total if total else 0.0
+    shares = [row[Modality.AUTOMATIC.value] / 100.0
+              for row in modality_percentages(db).values()]
+    return sum(shares) / len(shares) if shares else 0.0
+
+
+def tags_by_manufacturer(db: FailureDatabase,
+                         use_truth: bool = False,
+                         ) -> dict[str, Counter]:
+    """Raw tag counts per manufacturer (support for Fig. 6 tests)."""
+    out: dict[str, Counter] = defaultdict(Counter)
+    for record in db.disengagements:
+        tag = _tag_of(record, use_truth)
+        if tag is not None:
+            out[record.manufacturer][tag] += 1
+    return dict(out)

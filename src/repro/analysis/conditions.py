@@ -1,0 +1,143 @@
+"""Condition-conditioned analyses: road type and weather.
+
+The paper reports the road-type split of testing miles (Sec. III-C) and
+notes the "not all miles are equivalent" threat to validity: some
+manufacturers test in harder conditions.  For the manufacturers that
+report conditions, these analyses break disengagements down by road
+type and weather and compare against the mileage exposure shares.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..calibration.roads import ROAD_TYPE_SHARES, RoadType
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+
+
+@dataclass(frozen=True)
+class ConditionBreakdown:
+    """Share of disengagements per condition value."""
+
+    condition: str  # "road_type" or "weather"
+    total: int
+    shares: dict[str, float]
+
+    def top(self, k: int = 3) -> list[tuple[str, float]]:
+        """The ``k`` most frequent condition values."""
+        ranked = sorted(self.shares.items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+
+def road_type_breakdown(db: FailureDatabase,
+                        manufacturer: str | None = None,
+                        ) -> ConditionBreakdown:
+    """Disengagement shares per road type."""
+    counts: Counter = Counter()
+    for record in db.disengagements:
+        if manufacturer is not None \
+                and record.manufacturer != manufacturer:
+            continue
+        if record.road_type:
+            counts[record.road_type] += 1
+    total = sum(counts.values())
+    if total == 0:
+        raise InsufficientDataError(
+            "no records report a road type"
+            + (f" for {manufacturer}" if manufacturer else ""))
+    return ConditionBreakdown(
+        condition="road_type", total=total,
+        shares={road: count / total for road, count in counts.items()})
+
+
+def weather_breakdown(db: FailureDatabase,
+                      manufacturer: str | None = None,
+                      ) -> ConditionBreakdown:
+    """Disengagement shares per weather condition."""
+    counts: Counter = Counter()
+    for record in db.disengagements:
+        if manufacturer is not None \
+                and record.manufacturer != manufacturer:
+            continue
+        if record.weather:
+            counts[record.weather] += 1
+    total = sum(counts.values())
+    if total == 0:
+        raise InsufficientDataError(
+            "no records report weather"
+            + (f" for {manufacturer}" if manufacturer else ""))
+    return ConditionBreakdown(
+        condition="weather", total=total,
+        shares={weather: count / total
+                for weather, count in counts.items()})
+
+
+def road_type_enrichment(db: FailureDatabase) -> dict[str, float]:
+    """Disengagement share per road type divided by mileage exposure.
+
+    A ratio above 1 means the road type produces more disengagements
+    than its share of testing miles — the "not all miles are
+    equivalent" signal.  Exposure comes from the calibrated road-type
+    mileage shares (the reports give per-event road types but not
+    per-road-type mileage).
+    """
+    breakdown = road_type_breakdown(db)
+    enrichment: dict[str, float] = {}
+    for road_type, exposure in ROAD_TYPE_SHARES.items():
+        share = breakdown.shares.get(str(road_type), 0.0)
+        if exposure > 0:
+            enrichment[str(road_type)] = share / exposure
+    return enrichment
+
+
+def time_of_day_breakdown(db: FailureDatabase,
+                          manufacturer: str | None = None,
+                          ) -> dict[int, int]:
+    """Disengagement counts by hour of day (0-23).
+
+    Only manufacturers reporting timestamps contribute; testing is
+    diurnal, so the distribution concentrates in working hours.
+    """
+    counts: Counter = Counter()
+    for record in db.disengagements:
+        if manufacturer is not None \
+                and record.manufacturer != manufacturer:
+            continue
+        if record.time_of_day is not None:
+            counts[record.time_of_day[0]] += 1
+    if not counts:
+        raise InsufficientDataError(
+            "no records report a time of day"
+            + (f" for {manufacturer}" if manufacturer else ""))
+    return dict(sorted(counts.items()))
+
+
+def reporting_census(db: FailureDatabase) -> dict[str, dict[str, float]]:
+    """Per-manufacturer share of records reporting each optional field.
+
+    Quantifies the data-heterogeneity threat: which manufacturers
+    report timestamps, vehicles, conditions, and reaction times.
+    """
+    fields = ("event_date", "time_of_day", "vehicle_id", "road_type",
+              "weather", "reaction_time_s", "modality")
+    census: dict[str, dict[str, float]] = {}
+    for name, records in db.disengagements_by_manufacturer().items():
+        total = len(records)
+        census[name] = {
+            field: sum(1 for r in records
+                       if getattr(r, field) is not None) / total
+            for field in fields
+        }
+    return census
+
+
+__all__ = [
+    "ConditionBreakdown",
+    "road_type_breakdown",
+    "weather_breakdown",
+    "road_type_enrichment",
+    "reporting_census",
+    "RoadType",
+]

@@ -1,0 +1,121 @@
+"""Maturity ("burn-in") assessment: Question 1/3, Figs. 5, 8, 9.
+
+* Fig. 5: cumulative disengagements vs. cumulative miles per
+  manufacturer, with log-log linear fits.  Mature technology would
+  show the curve flattening (slope -> 0 in DPM terms); the paper finds
+  no manufacturer there yet.
+* Fig. 8: pooled correlation between log(DPM) and log(cumulative
+  miles) across all (manufacturer, month) points: r = -0.87.
+* Fig. 9: per-manufacturer DPM-vs-cumulative-miles fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from .correlation import CorrelationResult, log_pearson
+from .dpm import MonthlyPoint, monthly_series
+from .regression import LinearFit, fit_loglog
+
+
+@dataclass(frozen=True)
+class MaturityAssessment:
+    """Per-manufacturer burn-in assessment."""
+
+    manufacturer: str
+    #: Fig. 5 fit: log cumulative disengagements vs log cumulative miles.
+    cumulative_fit: LinearFit
+    #: Fig. 9 fit: log monthly DPM vs log cumulative miles.
+    dpm_fit: LinearFit | None
+    #: The monthly observations behind both fits.
+    series: list[MonthlyPoint] = field(default_factory=list)
+
+    @property
+    def improving(self) -> bool:
+        """Whether DPM falls as miles accumulate."""
+        return self.dpm_fit is not None and self.dpm_fit.slope < 0
+
+    @property
+    def mature(self) -> bool:
+        """Paper's maturity criterion: DPM trend near the horizontal
+        asymptote (we use |slope| < 0.05 as 'near zero')."""
+        return (self.dpm_fit is not None
+                and abs(self.dpm_fit.slope) < 0.05)
+
+
+def cumulative_curve(db: FailureDatabase, manufacturer: str,
+                     ) -> tuple[list[float], list[int]]:
+    """(cumulative miles, cumulative disengagements) month by month."""
+    series = monthly_series(db, manufacturer)
+    miles, events = [], []
+    running = 0
+    for point in series:
+        running += point.disengagements
+        miles.append(point.cumulative_miles)
+        events.append(running)
+    return miles, events
+
+
+def assess_maturity(db: FailureDatabase, manufacturer: str,
+                    ) -> MaturityAssessment:
+    """Build the full maturity assessment for one manufacturer."""
+    series = monthly_series(db, manufacturer)
+    active = [p for p in series if p.miles > 0]
+    if len(active) < 3:
+        raise InsufficientDataError(
+            f"{manufacturer}: too few active months")
+    cum_miles, cum_events = cumulative_curve(db, manufacturer)
+    pairs = [(m, e) for m, e in zip(cum_miles, cum_events)
+             if m > 0 and e > 0]
+    if len(pairs) < 2:
+        raise InsufficientDataError(
+            f"{manufacturer}: no positive cumulative points")
+    cumulative_fit = fit_loglog([p[0] for p in pairs],
+                                [p[1] for p in pairs])
+    dpm_fit = None
+    dpm_pairs = [(p.cumulative_miles, p.dpm) for p in active if p.dpm > 0]
+    if len(dpm_pairs) >= 2:
+        dpm_fit = fit_loglog([p[0] for p in dpm_pairs],
+                             [p[1] for p in dpm_pairs])
+    return MaturityAssessment(
+        manufacturer=manufacturer,
+        cumulative_fit=cumulative_fit,
+        dpm_fit=dpm_fit,
+        series=series,
+    )
+
+
+def pooled_dpm_correlation(db: FailureDatabase,
+                           manufacturers: list[str] | None = None,
+                           ) -> CorrelationResult:
+    """Fig. 8: pooled Pearson r of log(DPM) vs log(cumulative miles).
+
+    One point per (manufacturer, month) with positive miles and at
+    least one disengagement.
+    """
+    names = manufacturers if manufacturers is not None \
+        else db.manufacturers()
+    cum, dpm = [], []
+    for name in names:
+        for point in monthly_series(db, name):
+            if point.miles > 0 and point.dpm > 0:
+                cum.append(point.cumulative_miles)
+                dpm.append(point.dpm)
+    return log_pearson(cum, dpm)
+
+
+def all_assessments(db: FailureDatabase,
+                    manufacturers: list[str] | None = None,
+                    ) -> dict[str, MaturityAssessment]:
+    """Maturity assessments for all (assessable) manufacturers."""
+    names = manufacturers if manufacturers is not None \
+        else db.manufacturers()
+    out = {}
+    for name in names:
+        try:
+            out[name] = assess_maturity(db, name)
+        except InsufficientDataError:
+            continue
+    return out

@@ -1,0 +1,83 @@
+"""Per-mission comparison with other safety-critical systems
+(Table VIII, Sec. V-C1).
+
+A *mission* is one continuous operation: a trip for a vehicle, a
+departure for an airplane, a procedure for a surgical robot.  The AV's
+accidents-per-mission (APMi) is its per-mile rate scaled by the median
+U.S. trip length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calibration.baselines import (
+    AIRLINE_ACCIDENTS_PER_MISSION,
+    AIRLINE_TRIPS_PER_YEAR,
+    MEDIAN_TRIP_MILES,
+    PROJECTED_AV_TRIPS_PER_YEAR,
+    SURGICAL_ROBOT_ACCIDENTS_PER_MISSION,
+)
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from .apm import apm_summary
+
+
+@dataclass(frozen=True)
+class MissionComparison:
+    """One Table VIII row."""
+
+    manufacturer: str
+    apmi: float
+    vs_airline: float
+    vs_surgical_robot: float
+
+    @property
+    def safer_than_airline(self) -> bool:
+        """Whether the AV beats airlines per mission."""
+        return self.vs_airline < 1.0
+
+    @property
+    def safer_than_surgical_robot(self) -> bool:
+        """Whether the AV beats surgical robots per mission."""
+        return self.vs_surgical_robot < 1.0
+
+
+def accidents_per_mission(apm: float,
+                          trip_miles: float = MEDIAN_TRIP_MILES) -> float:
+    """APMi = APM x median trip length."""
+    if apm < 0 or trip_miles <= 0:
+        raise InsufficientDataError(
+            "APM must be non-negative and trip length positive")
+    return apm * trip_miles
+
+
+def mission_comparison(db: FailureDatabase,
+                       manufacturers: list[str] | None = None,
+                       ) -> dict[str, MissionComparison]:
+    """Table VIII for every manufacturer with a computable APM."""
+    out: dict[str, MissionComparison] = {}
+    for name, summary in apm_summary(db, manufacturers).items():
+        if summary.apm is None:
+            continue
+        apmi = accidents_per_mission(summary.apm)
+        out[name] = MissionComparison(
+            manufacturer=name,
+            apmi=apmi,
+            vs_airline=apmi / AIRLINE_ACCIDENTS_PER_MISSION,
+            vs_surgical_robot=apmi / SURGICAL_ROBOT_ACCIDENTS_PER_MISSION,
+        )
+    return out
+
+
+def projected_yearly_accidents(apmi: float) -> float:
+    """Projected yearly AV accidents if all cars become AVs
+    (the paper's ~96-billion-trips argument)."""
+    if apmi < 0:
+        raise InsufficientDataError("APMi must be non-negative")
+    return apmi * PROJECTED_AV_TRIPS_PER_YEAR
+
+
+def trips_ratio_vs_airlines() -> float:
+    """How many more trips AVs would make than airlines (~10,000x)."""
+    return PROJECTED_AV_TRIPS_PER_YEAR / AIRLINE_TRIPS_PER_YEAR

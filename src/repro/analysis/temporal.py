@@ -1,0 +1,148 @@
+"""Temporal trend analysis (Fig. 7 machinery).
+
+Implements the trend statistics behind the paper's temporal claims: a
+Mann-Kendall monotone-trend test over monthly DPM series (robust to
+the non-normal rates), the per-year median/variance evolution (the
+paper observes medians improving while variance grows), and a
+Theil-Sen slope estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from .dpm import monthly_series, yearly_dpm_distributions
+
+
+@dataclass(frozen=True)
+class TrendTest:
+    """Mann-Kendall test result."""
+
+    s_statistic: int
+    z_score: float
+    p_value: float
+    n: int
+
+    @property
+    def direction(self) -> str:
+        """"decreasing", "increasing", or "none"."""
+        if self.s_statistic < 0:
+            return "decreasing"
+        if self.s_statistic > 0:
+            return "increasing"
+        return "none"
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the trend is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def mann_kendall(values: list[float] | np.ndarray) -> TrendTest:
+    """Mann-Kendall monotone trend test (normal approximation with
+    tie correction)."""
+    array = np.asarray(values, dtype=float)
+    n = array.size
+    if n < 4:
+        raise InsufficientDataError(
+            f"need at least 4 observations, got {n}")
+    s = 0
+    for i in range(n - 1):
+        s += int(np.sum(np.sign(array[i + 1:] - array[i])))
+    unique, counts = np.unique(array, return_counts=True)
+    tie_term = float(np.sum(counts * (counts - 1) * (2 * counts + 5)))
+    variance = (n * (n - 1) * (2 * n + 5) - tie_term) / 18.0
+    if variance <= 0:
+        return TrendTest(s_statistic=s, z_score=0.0, p_value=1.0, n=n)
+    if s > 0:
+        z = (s - 1) / math.sqrt(variance)
+    elif s < 0:
+        z = (s + 1) / math.sqrt(variance)
+    else:
+        z = 0.0
+    p = 2.0 * (1.0 - _normal_cdf(abs(z)))
+    return TrendTest(s_statistic=s, z_score=z, p_value=p, n=n)
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def theil_sen_slope(values: list[float] | np.ndarray) -> float:
+    """Median of pairwise slopes (robust trend magnitude)."""
+    array = np.asarray(values, dtype=float)
+    n = array.size
+    if n < 2:
+        raise InsufficientDataError("need at least 2 observations")
+    slopes = [(array[j] - array[i]) / (j - i)
+              for i in range(n - 1) for j in range(i + 1, n)]
+    return float(np.median(slopes))
+
+
+def dpm_trend_test(db: FailureDatabase,
+                   manufacturer: str) -> TrendTest:
+    """Mann-Kendall test over a manufacturer's monthly DPM series."""
+    series = [p.dpm for p in monthly_series(db, manufacturer)
+              if p.miles > 0]
+    return mann_kendall(series)
+
+
+@dataclass(frozen=True)
+class YearlyEvolution:
+    """Median and spread of DPM per year for one manufacturer."""
+
+    manufacturer: str
+    medians: dict[int, float]
+    variances: dict[int, float]
+
+    @property
+    def median_improving(self) -> bool:
+        """Whether the yearly median DPM falls over the window."""
+        years = sorted(self.medians)
+        return self.medians[years[-1]] < self.medians[years[0]]
+
+    @property
+    def improvement_factor(self) -> float:
+        """First-year median over last-year median."""
+        years = sorted(self.medians)
+        last = self.medians[years[-1]]
+        if last <= 0:
+            return float("inf")
+        return self.medians[years[0]] / last
+
+    @property
+    def relative_spread_growing(self) -> bool:
+        """Whether variance relative to the median grows over years
+        (the paper: median improves, worst case does not)."""
+        years = sorted(self.medians)
+        if len(years) < 2:
+            return False
+        def rel(year: int) -> float:
+            median = self.medians[year]
+            if median <= 0:
+                return 0.0
+            return self.variances[year] / (median ** 2)
+        return rel(years[-1]) > rel(years[0])
+
+
+def yearly_evolution(db: FailureDatabase,
+                     manufacturer: str) -> YearlyEvolution:
+    """Per-year DPM medians and variances for one manufacturer."""
+    yearly = yearly_dpm_distributions(db, [manufacturer]).get(
+        manufacturer)
+    if not yearly:
+        raise InsufficientDataError(
+            f"{manufacturer}: no yearly DPM distributions")
+    medians = {}
+    variances = {}
+    for year, values in yearly.items():
+        array = np.asarray(values, dtype=float)
+        medians[year] = float(np.median(array))
+        variances[year] = (float(array.var(ddof=1))
+                           if array.size > 1 else 0.0)
+    return YearlyEvolution(manufacturer=manufacturer,
+                           medians=medians, variances=variances)

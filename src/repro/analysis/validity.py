@@ -1,0 +1,182 @@
+"""Threats-to-validity tooling (paper Section VI).
+
+Three quantitative instruments:
+
+* **Underreporting sensitivity** — the paper cannot bound how much
+  manufacturers underreport; this sweep scales the observed
+  disengagement counts by candidate underreporting factors and
+  recomputes the headline metrics, showing which conclusions are
+  robust to it.
+* **Bootstrap confidence intervals** — resampling-based CIs for the
+  medians and correlations the paper reports as point estimates.
+* **Seed sensitivity** — rerun the full pipeline across corpus seeds
+  and summarize the spread of each headline metric (our synthetic
+  analogue of replication studies across datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from ..rng import child_generator
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the underreporting sweep."""
+
+    factor: float
+    dpm_scale: float
+    still_worse_than_human: bool
+
+
+def underreporting_sweep(db: FailureDatabase,
+                         factors: Sequence[float] = (1.0, 1.5, 2.0, 5.0),
+                         ) -> list[SweepPoint]:
+    """Scale disengagement counts by underreporting factors.
+
+    DPM scales linearly with the factor; the check records whether the
+    AV-vs-human APM conclusion would survive even if accidents were
+    *not* underreported (the conservative direction: more
+    disengagements per accident, same accidents per mile).
+    """
+    from ..calibration.baselines import HUMAN_ACCIDENTS_PER_MILE
+    from .apm import first_principles_apm
+
+    apm = first_principles_apm(db)
+    if not apm:
+        raise InsufficientDataError("no accident-attributable miles")
+    worst = min(apm.values())
+    points = []
+    for factor in factors:
+        if factor <= 0:
+            raise InsufficientDataError(
+                f"non-positive underreporting factor {factor}")
+        points.append(SweepPoint(
+            factor=factor,
+            dpm_scale=factor,
+            # Accident counts are reported within 10 business days and
+            # are far harder to hide; APM is factor-independent.
+            still_worse_than_human=worst > HUMAN_ACCIDENTS_PER_MILE,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A bootstrap confidence interval for a statistic."""
+
+    statistic: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(values: Sequence[float],
+                 statistic: Callable[[np.ndarray], float] = np.median,
+                 confidence: float = 0.95, resamples: int = 2000,
+                 seed: int = 0) -> BootstrapResult:
+    """Percentile-bootstrap CI for ``statistic`` over ``values``."""
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        raise InsufficientDataError(
+            "need at least 2 observations to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise InsufficientDataError(
+            f"confidence {confidence} outside (0, 1)")
+    rng = child_generator(seed, "bootstrap")
+    stats = np.empty(resamples)
+    for i in range(resamples):
+        sample = array[rng.integers(0, array.size, array.size)]
+        stats[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        statistic=float(statistic(array)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def median_dpm_ci(db: FailureDatabase, manufacturer: str,
+                  confidence: float = 0.95) -> BootstrapResult:
+    """Bootstrap CI for one manufacturer's median per-unit DPM."""
+    from .dpm import per_unit_dpm
+
+    _, dpm = per_unit_dpm(db, manufacturer)
+    return bootstrap_ci(list(dpm.values()), confidence=confidence)
+
+
+@dataclass(frozen=True)
+class SeedSweepResult:
+    """Across-seed spread of one headline metric."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Mean across seeds."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation across seeds."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def spread(self) -> float:
+        """Max minus min across seeds."""
+        return max(self.values) - min(self.values)
+
+
+def seed_sensitivity(seeds: Sequence[int],
+                     manufacturers: list[str] | None = None,
+                     ) -> dict[str, SeedSweepResult]:
+    """Rerun the pipeline per seed; summarize headline metrics.
+
+    Heavy (one full pipeline per seed) — meant for the validity bench
+    and reports, not the unit-test path.
+    """
+    from ..pipeline import PipelineConfig, run_pipeline
+    from .alertness import overall_mean_reaction_time
+    from .categories import overall_category_shares
+    from .maturity import pooled_dpm_correlation
+
+    if not seeds:
+        raise InsufficientDataError("no seeds to sweep")
+    collected: dict[str, list[float]] = {
+        "ml_design_share": [],
+        "perception_share": [],
+        "pooled_r": [],
+        "mean_reaction_time_s": [],
+        "tag_accuracy": [],
+    }
+    for seed in seeds:
+        result = run_pipeline(PipelineConfig(
+            seed=seed, manufacturers=manufacturers))
+        db = result.database
+        shares = overall_category_shares(db)
+        collected["ml_design_share"].append(shares.get("ml_design", 0))
+        collected["perception_share"].append(
+            shares.get("perception", 0))
+        collected["pooled_r"].append(pooled_dpm_correlation(db).r)
+        collected["mean_reaction_time_s"].append(
+            overall_mean_reaction_time(db))
+        collected["tag_accuracy"].append(
+            result.diagnostics.tagging.tag_accuracy)
+    return {metric: SeedSweepResult(metric=metric, values=tuple(values))
+            for metric, values in collected.items()}

@@ -1,0 +1,47 @@
+"""Road-type distribution of autonomous testing miles (Sec. III-C).
+
+The paper reports testing across 9 distinct road types: 31.7% on city
+streets, 29.26% on highways, 14.63% on interstates, 9.75% on freeways,
+and the remaining ~14.66% in parking lots and on suburban and rural
+roads.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RoadType(enum.Enum):
+    """Road types appearing in the disengagement reports."""
+
+    CITY_STREET = "city street"
+    HIGHWAY = "highway"
+    INTERSTATE = "interstate"
+    FREEWAY = "freeway"
+    PARKING_LOT = "parking lot"
+    SUBURBAN = "suburban"
+    RURAL = "rural"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Share of autonomous miles per road type.  The paper's residual 14.66%
+#: is split across parking lots, suburban, and rural roads.
+ROAD_TYPE_SHARES: dict[RoadType, float] = {
+    RoadType.CITY_STREET: 0.3170,
+    RoadType.HIGHWAY: 0.2926,
+    RoadType.INTERSTATE: 0.1463,
+    RoadType.FREEWAY: 0.0975,
+    RoadType.PARKING_LOT: 0.0466,
+    RoadType.SUBURBAN: 0.0600,
+    RoadType.RURAL: 0.0400,
+}
+
+#: Weather conditions reported by the manufacturers that log them.
+WEATHER_CONDITIONS: tuple[str, ...] = (
+    "Sunny/Dry", "Cloudy/Dry", "Overcast", "Raining/Wet", "Fog",
+    "Clear/Night")
+
+#: Sampling weights for weather (California is mostly dry).
+WEATHER_WEIGHTS: tuple[float, ...] = (0.55, 0.15, 0.10, 0.10, 0.03, 0.07)

@@ -1,0 +1,336 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    run        synthesize + process end to end, write the database JSON
+    corpus     write the raw synthetic corpus to a directory
+    process    run Stages II-IV over a corpus directory
+    report     render paper tables/figures from a database JSON
+    tag        tag free-text log lines with the failure dictionary
+    stpa       overlay the tagged failures on the control structure
+    inject     run a stochastic fault-injection campaign
+    validate   score the NLP tagger against ground truth
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .pipeline import (
+    FailureDatabase,
+    PipelineConfig,
+    process_corpus,
+    run_pipeline,
+)
+from .rng import DEFAULT_SEED
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="corpus/OCR seed (default: %(default)s)")
+    parser.add_argument("--manufacturers", nargs="*", default=None,
+                        help="restrict to these manufacturers")
+    parser.add_argument("--no-ocr", action="store_true",
+                        help="disable the OCR noise channel")
+    parser.add_argument("--no-correction", action="store_true",
+                        help="disable the post-OCR correction pass")
+    parser.add_argument("--dictionary", choices=("seed", "expanded"),
+                        default="expanded",
+                        help="failure-dictionary mode")
+    parser.add_argument("--drop-planned", action="store_true",
+                        help="drop planned-test disengagements")
+
+
+def _config_from(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(
+        seed=args.seed,
+        manufacturers=args.manufacturers,
+        ocr_enabled=not args.no_ocr,
+        correction_enabled=not args.no_correction,
+        dictionary_mode=args.dictionary,
+        drop_planned=args.drop_planned,
+    )
+
+
+def _print_run_summary(result) -> None:
+    db = result.database
+    diagnostics = result.diagnostics
+    print(f"disengagements: {len(db.disengagements)}")
+    print(f"accidents:      {len(db.accidents)}")
+    print(f"miles:          {db.total_miles:,.0f}")
+    print(f"ocr confidence: {diagnostics.ocr.mean_confidence:.3f} "
+          f"({diagnostics.ocr.fallback_pages} pages transcribed "
+          "manually)")
+    if diagnostics.tagging is not None:
+        print(f"tag accuracy:   "
+              f"{diagnostics.tagging.tag_accuracy:.2%}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_pipeline(_config_from(args))
+    _print_run_summary(result)
+    if args.out:
+        result.database.save(args.out)
+        print(f"database written to {args.out}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .synth import generate_corpus
+    from .synth.io import write_corpus
+
+    corpus = generate_corpus(args.seed, args.manufacturers)
+    root = write_corpus(corpus, args.out)
+    print(f"{len(corpus.documents)} documents written under {root}")
+    return 0
+
+
+def _cmd_process(args: argparse.Namespace) -> int:
+    from .synth.io import read_corpus
+
+    corpus = read_corpus(args.corpus, with_truth=not args.no_truth)
+    result = process_corpus(corpus, _config_from(args))
+    _print_run_summary(result)
+    if args.out:
+        result.database.save(args.out)
+        print(f"database written to {args.out}")
+    return 0
+
+
+def _load_db(args: argparse.Namespace) -> FailureDatabase:
+    if args.db:
+        return FailureDatabase.load(args.db)
+    print("no --db given; running the pipeline first...",
+          file=sys.stderr)
+    return run_pipeline(PipelineConfig(seed=args.seed)).database
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import EXPERIMENTS, run_experiment
+
+    db = _load_db(args)
+    wanted = (list(EXPERIMENTS) if "all" in args.experiments
+              else args.experiments)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}; "
+              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in wanted:
+        text = run_experiment(experiment_id, db).render()
+        if args.out:
+            directory = Path(args.out)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{experiment_id}.txt").write_text(
+                text + "\n", encoding="utf-8")
+            print(f"wrote {directory / f'{experiment_id}.txt'}")
+        else:
+            print(text)
+            print()
+    return 0
+
+
+def _cmd_tag(args: argparse.Namespace) -> int:
+    from .nlp import FailureDictionary, VotingTagger
+
+    if args.db:
+        db = FailureDatabase.load(args.db)
+        dictionary = FailureDictionary.build(
+            [r.description for r in db.disengagements])
+    else:
+        dictionary = FailureDictionary.from_seeds()
+    tagger = VotingTagger(dictionary)
+    lines = args.text or [l.rstrip("\n") for l in sys.stdin]
+    for line in lines:
+        if not line.strip():
+            continue
+        result = tagger.tag(line)
+        confidence = "" if result.confident else " (low confidence)"
+        print(f"{result.tag.display_name} | {result.category} | "
+              f"{line}{confidence}")
+    return 0
+
+
+def _cmd_stpa(args: argparse.Namespace) -> int:
+    from .stpa import overlay_failures
+
+    db = _load_db(args)
+    overlay = overlay_failures(db.disengagements)
+    localized = overlay.total - overlay.unlocalized
+    print(f"{overlay.total} failures overlaid "
+          f"({overlay.unlocalized} unlocalized)")
+    for component, count in overlay.by_component.most_common():
+        print(f"  {component:20s} {count:5d} "
+              f"({count / localized:.1%})")
+    print("per control loop:")
+    for name, count in overlay.loop_counts().items():
+        print(f"  {name}: {count}")
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from .stpa.fault_injection import FaultInjector
+
+    injector = FaultInjector()
+    campaign = injector.run_campaign(
+        injections_per_component=args.injections, seed=args.seed)
+    print(f"{len(campaign.outcomes)} injections "
+          f"({campaign.injections_per_component} per component)")
+    print("hazard rate by fault origin:")
+    for origin, rate in campaign.hazard_ranking():
+        detection = campaign.detection_rate(origin)
+        print(f"  {origin:20s} hazard {rate:.2%}  "
+              f"detected {detection:.2%}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .pipeline.lint import errors, lint_database
+
+    db = _load_db(args)
+    findings = lint_database(db)
+    for finding in findings:
+        print(finding)
+    error_count = len(errors(findings))
+    print(f"{len(findings)} finding(s), {error_count} error(s)")
+    return 1 if error_count else 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from .reporting.summary import render_study_report
+
+    db = _load_db(args)
+    report = render_study_report(db, include_charts=not args.no_charts)
+    if args.out:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .nlp import FailureDictionary, VotingTagger, evaluate_tagger
+    from .nlp.evaluation import per_manufacturer_accuracy
+
+    db = _load_db(args)
+    records = [r for r in db.disengagements if r.truth_tag is not None]
+    if not records:
+        print("database carries no ground-truth tags", file=sys.stderr)
+        return 2
+    tagger = VotingTagger(FailureDictionary.build(
+        [r.description for r in records]))
+    report = evaluate_tagger(tagger, records)
+    print(f"tag accuracy:      {report.tag_accuracy:.2%}")
+    print(f"category accuracy: {report.category_accuracy:.2%}")
+    print("top confusions:")
+    for (truth, predicted), count in report.top_confusions(5):
+        print(f"  {truth.display_name} -> {predicted.display_name} "
+              f"x{count}")
+    print("per manufacturer:")
+    for name, accuracy in per_manufacturer_accuracy(
+            tagger, records).items():
+        print(f"  {name:15s} {accuracy:.2%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AV disengagement/accident analysis pipeline "
+                    "(DSN 2018 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="synthesize + process end to end")
+    _add_pipeline_options(run)
+    run.add_argument("--out", help="write the database JSON here")
+    run.set_defaults(handler=_cmd_run)
+
+    corpus = commands.add_parser(
+        "corpus", help="write the raw synthetic corpus to a directory")
+    corpus.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    corpus.add_argument("--manufacturers", nargs="*", default=None)
+    corpus.add_argument("--out", required=True)
+    corpus.set_defaults(handler=_cmd_corpus)
+
+    process = commands.add_parser(
+        "process", help="run Stages II-IV over a corpus directory")
+    _add_pipeline_options(process)
+    process.add_argument("--corpus", required=True,
+                         help="directory written by 'repro corpus'")
+    process.add_argument("--no-truth", action="store_true",
+                         help="ignore the ground-truth sidecar")
+    process.add_argument("--out", help="write the database JSON here")
+    process.set_defaults(handler=_cmd_process)
+
+    report = commands.add_parser(
+        "report", help="render paper tables/figures")
+    report.add_argument("experiments", nargs="+",
+                        help="experiment ids (e.g. table7 figure8) "
+                             "or 'all'")
+    report.add_argument("--db", help="database JSON from 'repro run'")
+    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    report.add_argument("--out", help="write exhibits to a directory")
+    report.set_defaults(handler=_cmd_report)
+
+    tag = commands.add_parser(
+        "tag", help="tag log lines with the failure dictionary")
+    tag.add_argument("text", nargs="*",
+                     help="log lines (default: read stdin)")
+    tag.add_argument("--db", help="build the dictionary from this "
+                                  "database (default: seeds only)")
+    tag.set_defaults(handler=_cmd_tag)
+
+    stpa = commands.add_parser(
+        "stpa", help="overlay failures on the control structure")
+    stpa.add_argument("--db", help="database JSON")
+    stpa.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    stpa.set_defaults(handler=_cmd_stpa)
+
+    inject = commands.add_parser(
+        "inject", help="stochastic fault-injection campaign")
+    inject.add_argument("--injections", type=int, default=1000,
+                        help="injections per component")
+    inject.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    inject.set_defaults(handler=_cmd_inject)
+
+    lint = commands.add_parser(
+        "lint", help="check a database for consistency problems")
+    lint.add_argument("--db", help="database JSON")
+    lint.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    lint.set_defaults(handler=_cmd_lint)
+
+    summary = commands.add_parser(
+        "summary", help="render the full study report (Markdown)")
+    summary.add_argument("--db", help="database JSON")
+    summary.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    summary.add_argument("--out", help="write the report here")
+    summary.add_argument("--no-charts", action="store_true",
+                         help="omit the ASCII charts")
+    summary.set_defaults(handler=_cmd_summary)
+
+    validate = commands.add_parser(
+        "validate", help="score the NLP tagger against ground truth")
+    validate.add_argument("--db", help="database JSON")
+    validate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    validate.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at pipeline boundaries while the
+individual stages raise more specific subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CalibrationError(ReproError):
+    """A calibration constant is missing or inconsistent."""
+
+
+class SynthesisError(ReproError):
+    """The synthetic corpus generator was asked for something impossible."""
+
+
+class OcrError(ReproError):
+    """The OCR substrate failed to process a document."""
+
+
+class ParseError(ReproError):
+    """A raw report could not be parsed into canonical records."""
+
+    def __init__(self, message: str, *, line: str | None = None,
+                 manufacturer: str | None = None) -> None:
+        super().__init__(message)
+        self.line = line
+        self.manufacturer = manufacturer
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        parts = [base]
+        if self.manufacturer is not None:
+            parts.append(f"manufacturer={self.manufacturer!r}")
+        if self.line is not None:
+            parts.append(f"line={self.line!r}")
+        return " | ".join(parts)
+
+
+class FieldCoercionError(ParseError):
+    """A field value could not be coerced to its canonical type."""
+
+
+class UnknownFormatError(ParseError):
+    """No registered parser recognizes the report format."""
+
+
+class NlpError(ReproError):
+    """The NLP tagging engine failed."""
+
+
+class OntologyError(NlpError):
+    """A fault tag or failure category is not part of the ontology."""
+
+
+class StpaError(ReproError):
+    """The STPA control-structure model was queried inconsistently."""
+
+
+class PipelineError(ReproError):
+    """A pipeline stage failed or stages were run out of order."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis was asked to operate on unusable data."""
+
+
+class InsufficientDataError(AnalysisError):
+    """Too few observations to compute the requested statistic."""

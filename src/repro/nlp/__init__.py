@@ -1,0 +1,34 @@
+"""Stage III: NLP labeling of disengagement causes.
+
+Reproduces the paper's pipeline step 3: a *failure dictionary* of
+phrases built by passes over the corpus (seeded from the Table III
+definitions, expanded by co-occurrence), and a keyword-*voting* scheme
+that assigns each narrative a fault tag — ``Unknown-T`` when no tag
+wins — plus the STPA-derived ontology mapping tags to coarse failure
+categories.
+"""
+
+from .tokenize import tokenize, sentences
+from .normalize import normalize_tokens, STOPWORDS
+from .ngrams import ngrams, phrase_candidates
+from .dictionary import FailureDictionary, SEED_PHRASES
+from .tagger import TagResult, VotingTagger, FirstMatchTagger
+from .ontology import Ontology
+from .evaluation import TaggingReport, evaluate_tagger
+
+__all__ = [
+    "tokenize",
+    "sentences",
+    "normalize_tokens",
+    "STOPWORDS",
+    "ngrams",
+    "phrase_candidates",
+    "FailureDictionary",
+    "SEED_PHRASES",
+    "TagResult",
+    "VotingTagger",
+    "FirstMatchTagger",
+    "Ontology",
+    "TaggingReport",
+    "evaluate_tagger",
+]

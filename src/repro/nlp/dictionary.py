@@ -1,0 +1,260 @@
+"""The failure dictionary: phrases that identify fault tags.
+
+The paper: "we make several passes over the dataset to construct a
+'Failure Dictionary' that contains a sequence of phrases (keywords)
+extracted from the raw disengagement reports".  We reproduce that as a
+two-pass construction:
+
+1. **Seed pass** — a hand-curated seed set per tag derived from the
+   Table III definitions (the authors' domain knowledge).
+2. **Expansion pass** — narratives that the seed set tags univocally
+   donate their frequent n-grams; phrases that co-occur almost
+   exclusively (purity >= 0.8) with a single tag and are not corpus
+   boilerplate are added with idf-scaled weights.
+
+Phrases are stored normalized (stemmed, stopword-free) so they match
+the same narratives regardless of inflection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ..taxonomy import FaultTag
+from .ngrams import all_ngrams
+from .normalize import normalize_tokens
+from .tokenize import tokenize
+
+#: Hand-curated seed phrases per tag (surface form; normalized at
+#: build time).  Derived from Table III definitions and the published
+#: example log lines, not from our generator's templates.
+SEED_PHRASES: dict[FaultTag, tuple[str, ...]] = {
+    FaultTag.ENVIRONMENT: (
+        "construction zone", "emergency vehicle", "recklessly behaving",
+        "reckless road user", "heavy rain", "sun glare", "debris",
+        "lane closure", "weather conditions", "ran a red light",
+        "accident blocking", "external factor",
+    ),
+    FaultTag.COMPUTER_SYSTEM: (
+        "processor overload", "compute unit", "compute platform",
+        "memory exhaustion", "onboard computer", "ecu",
+        "thermal limits", "disk subsystem", "hardware fault",
+        "rebooted",
+    ),
+    FaultTag.RECOGNITION_SYSTEM: (
+        "didn't see", "failed to detect", "perception",
+        "recognition system", "misclassified", "false obstacle",
+        "failed to track", "low confidence", "traffic light",
+        "lane markings",
+    ),
+    FaultTag.PLANNER: (
+        "planner", "motion planning", "infeasible trajectory",
+        "hesitated", "unwanted maneuver", "path planner",
+        "incorrect lane", "anticipate the other driver",
+    ),
+    FaultTag.SENSOR: (
+        "lidar", "radar", "gps", "camera", "sonar", "imu",
+        "localize", "calibration drift", "sensor dropout",
+        "signal lost", "returns degraded", "wheel-speed",
+    ),
+    FaultTag.NETWORK: (
+        "network", "can bus", "data rate", "latency", "packets",
+        "network switch", "bus saturation",
+    ),
+    FaultTag.DESIGN_BUG: (
+        "not designed to handle", "operational design domain",
+        "unforeseen situation", "feature gap", "no behavior for",
+    ),
+    FaultTag.SOFTWARE: (
+        "software module froze", "software crash", "software bug",
+        "software hang", "terminated unexpectedly",
+        "unhandled exception", "stack trace",
+    ),
+    FaultTag.AV_CONTROLLER_UNRESPONSIVE: (
+        "did not respond to commands", "command timeout",
+        "not executed by the controller", "stopped acknowledging",
+    ),
+    FaultTag.AV_CONTROLLER_DECISION: (
+        "wrong deceleration decision", "incorrect throttle",
+        "wrong control decision", "incorrect gap",
+    ),
+    FaultTag.HANG_CRASH: (
+        "watchdog",
+    ),
+    FaultTag.INCORRECT_BEHAVIOR_PREDICTION: (
+        "behavior prediction", "incorrect prediction",
+        "predicted cut-in", "prediction missed",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One phrase known to indicate one fault tag."""
+
+    phrase: tuple[str, ...]
+    tag: FaultTag
+    weight: float
+    source: str  # "seed" or "learned"
+
+
+@dataclass
+class FailureDictionary:
+    """Phrase -> tag dictionary with match weights."""
+
+    entries: list[DictionaryEntry] = field(default_factory=list)
+    #: Index from a phrase's first token to candidate entries.
+    _index: dict[str, list[DictionaryEntry]] = field(
+        default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._index = defaultdict(list)
+        for entry in self.entries:
+            self._index[entry.phrase[0]].append(entry)
+
+    def add(self, entry: DictionaryEntry) -> None:
+        """Add one entry (idempotent on (phrase, tag))."""
+        for existing in self.entries:
+            if (existing.phrase == entry.phrase
+                    and existing.tag == entry.tag):
+                return
+        self.entries.append(entry)
+        self._index[entry.phrase[0]].append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def phrases_for(self, tag: FaultTag) -> list[tuple[str, ...]]:
+        """All phrases registered for ``tag``."""
+        return [e.phrase for e in self.entries if e.tag == tag]
+
+    def match(self, tokens: list[str]) -> list[DictionaryEntry]:
+        """All entries whose phrase occurs in ``tokens``."""
+        matches: list[DictionaryEntry] = []
+        for position, token in enumerate(tokens):
+            for entry in self._index.get(token, ()):
+                n = len(entry.phrase)
+                if tuple(tokens[position:position + n]) == entry.phrase:
+                    matches.append(entry)
+        return matches
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the dictionary to JSON."""
+        import json
+
+        return json.dumps([
+            {"phrase": list(entry.phrase), "tag": entry.tag.value,
+             "weight": entry.weight, "source": entry.source}
+            for entry in self.entries])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureDictionary":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        dictionary = cls()
+        for item in json.loads(text):
+            dictionary.add(DictionaryEntry(
+                phrase=tuple(item["phrase"]),
+                tag=FaultTag(item["tag"]),
+                weight=float(item["weight"]),
+                source=item["source"]))
+        return dictionary
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_phrase(phrase: str) -> tuple[str, ...]:
+        return tuple(normalize_tokens(tokenize(phrase)))
+
+    @classmethod
+    def from_seeds(cls, seeds: dict[FaultTag, tuple[str, ...]] | None = None,
+                   ) -> "FailureDictionary":
+        """Dictionary containing only the hand-curated seed phrases."""
+        seeds = seeds if seeds is not None else SEED_PHRASES
+        dictionary = cls()
+        for tag, phrases in seeds.items():
+            for phrase in phrases:
+                normalized = cls._normalize_phrase(phrase)
+                if not normalized:
+                    continue
+                dictionary.add(DictionaryEntry(
+                    phrase=normalized, tag=tag,
+                    weight=float(len(normalized) * 2.0), source="seed"))
+        return dictionary
+
+    @classmethod
+    def build(cls, texts: list[str],
+              seeds: dict[FaultTag, tuple[str, ...]] | None = None,
+              max_n: int = 3, min_count: int = 5, purity: float = 0.8,
+              boilerplate_df: float = 0.2) -> "FailureDictionary":
+        """Two-pass construction: seed tagging, then phrase expansion.
+
+        ``boilerplate_df`` drops phrases occurring in more than that
+        fraction of all narratives (shared boilerplate like "took
+        immediate manual control" carries no causal signal).
+        """
+        dictionary = cls.from_seeds(seeds)
+        token_lists = [normalize_tokens(tokenize(t)) for t in texts]
+        total = max(len(token_lists), 1)
+
+        # Pass 1: tag each narrative with the seed dictionary alone.
+        pass1_tags: list[FaultTag | None] = []
+        for tokens in token_lists:
+            votes: Counter = Counter()
+            for entry in dictionary.match(tokens):
+                votes[entry.tag] += entry.weight
+            if votes:
+                best, second = _top_two(votes)
+                pass1_tags.append(best if best != second else None)
+            else:
+                pass1_tags.append(None)
+
+        # Pass 2: harvest phrases that co-occur purely with one tag.
+        phrase_tag_counts: dict[tuple[str, ...], Counter] = defaultdict(
+            Counter)
+        phrase_df: Counter = Counter()
+        for tokens, tag in zip(token_lists, pass1_tags):
+            seen = set(all_ngrams(tokens, max_n))
+            for phrase in seen:
+                phrase_df[phrase] += 1
+                if tag is not None:
+                    phrase_tag_counts[phrase][tag] += 1
+
+        for phrase, tag_counts in phrase_tag_counts.items():
+            df = phrase_df[phrase]
+            count = sum(tag_counts.values())
+            if count < min_count or df / total > boilerplate_df:
+                continue
+            tag, tag_count = tag_counts.most_common(1)[0]
+            if tag_count / count < purity:
+                continue
+            idf = math.log(total / df)
+            dictionary.add(DictionaryEntry(
+                phrase=phrase, tag=tag,
+                weight=float(len(phrase)) * idf / 3.0,
+                source="learned"))
+        return dictionary
+
+
+def _top_two(votes: Counter) -> tuple[FaultTag, FaultTag | None]:
+    """Best and runner-up tags by weight (runner-up None if absent).
+
+    Returns ``(best, best)`` on an exact tie so callers can detect it.
+    """
+    ranked = votes.most_common()
+    best_tag, best_weight = ranked[0]
+    if len(ranked) > 1 and ranked[1][1] == best_weight:
+        return best_tag, best_tag  # signal: tie
+    return best_tag, ranked[1][0] if len(ranked) > 1 else None

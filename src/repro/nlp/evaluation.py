@@ -1,0 +1,96 @@
+"""Evaluation of the tagger against ground-truth labels.
+
+The paper's authors validated their dictionary manually; with the
+synthetic corpus we can score the tagger mechanically against the
+generator's ground-truth tags, at both tag and category granularity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ..parsing.records import DisengagementRecord
+from ..taxonomy import FaultTag, category_of
+
+
+@dataclass
+class TaggingReport:
+    """Accuracy summary of a tagging run."""
+
+    total: int = 0
+    correct_tag: int = 0
+    correct_category: int = 0
+    #: (truth, predicted) -> count.
+    confusion: Counter = field(default_factory=Counter)
+    per_tag_truth: Counter = field(default_factory=Counter)
+    per_tag_hits: Counter = field(default_factory=Counter)
+    per_tag_predicted: Counter = field(default_factory=Counter)
+
+    @property
+    def tag_accuracy(self) -> float:
+        """Fraction of records whose fine tag was recovered."""
+        return self.correct_tag / self.total if self.total else 0.0
+
+    @property
+    def category_accuracy(self) -> float:
+        """Fraction of records whose coarse category was recovered."""
+        return self.correct_category / self.total if self.total else 0.0
+
+    def recall(self, tag: FaultTag) -> float:
+        """Per-tag recall."""
+        truth = self.per_tag_truth[tag]
+        return self.per_tag_hits[tag] / truth if truth else 0.0
+
+    def precision(self, tag: FaultTag) -> float:
+        """Per-tag precision."""
+        predicted = self.per_tag_predicted[tag]
+        return self.per_tag_hits[tag] / predicted if predicted else 0.0
+
+    def f1(self, tag: FaultTag) -> float:
+        """Per-tag F1 score."""
+        p, r = self.precision(tag), self.recall(tag)
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def top_confusions(self, k: int = 5) -> list[tuple[tuple, int]]:
+        """The ``k`` most frequent (truth, predicted) mistakes."""
+        mistakes = Counter({pair: count
+                            for pair, count in self.confusion.items()
+                            if pair[0] != pair[1]})
+        return mistakes.most_common(k)
+
+
+def evaluate_tagger(tagger, records: list[DisengagementRecord],
+                    ) -> TaggingReport:
+    """Score ``tagger`` against records carrying ground-truth tags.
+
+    ``tagger`` is anything with a ``tag(text) -> TagResult`` method.
+    Records without ground truth are skipped.
+    """
+    report = TaggingReport()
+    for record in records:
+        if record.truth_tag is None:
+            continue
+        result = tagger.tag(record.description)
+        truth = record.truth_tag
+        report.total += 1
+        report.per_tag_truth[truth] += 1
+        report.per_tag_predicted[result.tag] += 1
+        report.confusion[(truth, result.tag)] += 1
+        if result.tag == truth:
+            report.correct_tag += 1
+            report.per_tag_hits[truth] += 1
+        if category_of(result.tag) is category_of(truth):
+            report.correct_category += 1
+    return report
+
+
+def per_manufacturer_accuracy(tagger,
+                              records: list[DisengagementRecord],
+                              ) -> dict[str, float]:
+    """Tag accuracy split by manufacturer."""
+    grouped: dict[str, list[DisengagementRecord]] = defaultdict(list)
+    for record in records:
+        grouped[record.manufacturer].append(record)
+    return {name: evaluate_tagger(tagger, group).tag_accuracy
+            for name, group in sorted(grouped.items())}

@@ -1,0 +1,36 @@
+"""N-gram extraction for the failure dictionary."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous ``n``-grams of ``tokens``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def all_ngrams(tokens: list[str],
+               max_n: int = 3) -> list[tuple[str, ...]]:
+    """All 1..max_n-grams of ``tokens``."""
+    out: list[tuple[str, ...]] = []
+    for n in range(1, max_n + 1):
+        out.extend(ngrams(tokens, n))
+    return out
+
+
+def phrase_candidates(documents: Iterable[list[str]], max_n: int = 3,
+                      min_count: int = 3) -> Counter:
+    """Frequent phrases across tokenized ``documents``.
+
+    Returns a Counter of phrase tuples appearing at least
+    ``min_count`` times — the raw material of the failure dictionary.
+    """
+    counts: Counter = Counter()
+    for tokens in documents:
+        counts.update(set(all_ngrams(tokens, max_n)))
+    return Counter({phrase: count for phrase, count in counts.items()
+                    if count >= min_count})

@@ -1,0 +1,113 @@
+"""Fault-tag assignment by keyword voting.
+
+The paper: "This dictionary is used to design a voting scheme (which is
+based on the maximum number of shared keywords) to assign a
+disengagement cause to a fault tag.  In the event that this procedure
+is unsuccessful ... the disengagement cause is marked with the
+'Unknown-T' tag."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..taxonomy import FailureCategory, FaultTag, category_of
+from .dictionary import DictionaryEntry, FailureDictionary
+from .normalize import normalize_tokens
+from .tokenize import tokenize
+
+
+@dataclass
+class TagResult:
+    """Outcome of tagging one narrative."""
+
+    tag: FaultTag
+    category: FailureCategory
+    #: Vote weight per candidate tag.
+    scores: dict[FaultTag, float] = field(default_factory=dict)
+    #: Dictionary entries that matched.
+    matches: list[DictionaryEntry] = field(default_factory=list)
+    #: False when the result fell back to Unknown-T or broke a tie.
+    confident: bool = True
+
+
+class VotingTagger:
+    """Weighted keyword-voting tagger over a failure dictionary."""
+
+    def __init__(self, dictionary: FailureDictionary) -> None:
+        self.dictionary = dictionary
+
+    def tag(self, text: str) -> TagResult:
+        """Assign a fault tag to one narrative."""
+        tokens = normalize_tokens(tokenize(text))
+        matches = self.dictionary.match(tokens)
+        votes: Counter = Counter()
+        for entry in matches:
+            votes[entry.tag] += entry.weight
+        if not votes:
+            return TagResult(
+                tag=FaultTag.UNKNOWN,
+                category=category_of(FaultTag.UNKNOWN),
+                scores={}, matches=[], confident=False)
+        ranked = votes.most_common()
+        best_tag, best_weight = ranked[0]
+        confident = True
+        if len(ranked) > 1 and ranked[1][1] == best_weight:
+            # Tie: break in favor of the tag with more distinct
+            # matching phrases; if still tied, the longer total match.
+            tied = [tag for tag, weight in ranked if weight == best_weight]
+            best_tag = _break_tie(tied, matches)
+            confident = False
+        return TagResult(
+            tag=best_tag,
+            category=category_of(best_tag),
+            scores=dict(votes),
+            matches=matches,
+            confident=confident,
+        )
+
+
+class FirstMatchTagger:
+    """Ablation baseline: the first phrase hit in reading order wins.
+
+    No voting, no weights — used by the ablation bench to quantify
+    what the voting scheme buys.
+    """
+
+    def __init__(self, dictionary: FailureDictionary) -> None:
+        self.dictionary = dictionary
+
+    def tag(self, text: str) -> TagResult:
+        """Assign the tag of the earliest phrase occurrence."""
+        tokens = normalize_tokens(tokenize(text))
+        earliest: tuple[int, DictionaryEntry] | None = None
+        for position in range(len(tokens)):
+            for entry in self.dictionary.match(tokens[position:]):
+                if tuple(tokens[position:position + len(entry.phrase)]) \
+                        == entry.phrase:
+                    earliest = (position, entry)
+                    break
+            if earliest is not None:
+                break
+        if earliest is None:
+            return TagResult(
+                tag=FaultTag.UNKNOWN,
+                category=category_of(FaultTag.UNKNOWN),
+                confident=False)
+        entry = earliest[1]
+        return TagResult(
+            tag=entry.tag, category=category_of(entry.tag),
+            scores={entry.tag: entry.weight}, matches=[entry])
+
+
+def _break_tie(tied: list[FaultTag],
+               matches: list[DictionaryEntry]) -> FaultTag:
+    """Deterministic tie-break: phrase count, then total phrase length,
+    then tag name (for stability)."""
+    def key(tag: FaultTag) -> tuple:
+        tag_matches = [m for m in matches if m.tag == tag]
+        return (-len(tag_matches),
+                -sum(len(m.phrase) for m in tag_matches),
+                tag.value)
+    return sorted(tied, key=key)[0]

@@ -1,0 +1,104 @@
+"""TF-IDF centroid classifier: a supervised baseline for the tagger.
+
+The paper's dictionary-voting approach needs no labels; the natural
+question is how much a *supervised* bag-of-words classifier (trained
+on labeled examples) would gain.  This nearest-centroid model over
+TF-IDF vectors answers it in the ablation bench: it needs hundreds of
+labels to match what the dictionary gets for free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import NlpError
+from ..taxonomy import FailureCategory, FaultTag, category_of
+from .normalize import normalize_tokens
+from .tagger import TagResult
+from .tokenize import tokenize
+
+
+def _vectorize(tokens: list[str], idf: dict[str, float],
+               ) -> dict[str, float]:
+    counts = Counter(tokens)
+    total = sum(counts.values()) or 1
+    return {token: (count / total) * idf.get(token, 0.0)
+            for token, count in counts.items()}
+
+
+def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
+    if not a or not b:
+        return 0.0
+    dot = sum(value * b.get(token, 0.0) for token, value in a.items())
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+@dataclass
+class TfidfTagger:
+    """Nearest-centroid TF-IDF classifier over fault tags."""
+
+    #: Minimum cosine similarity to assign a tag at all.
+    min_similarity: float = 0.05
+    _idf: dict[str, float] = field(default_factory=dict, repr=False)
+    _centroids: dict[FaultTag, dict[str, float]] = field(
+        default_factory=dict, repr=False)
+
+    @property
+    def trained(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self._centroids)
+
+    def fit(self, texts: list[str],
+            labels: list[FaultTag]) -> "TfidfTagger":
+        """Train on labeled narratives."""
+        if len(texts) != len(labels):
+            raise NlpError(
+                f"{len(texts)} texts vs {len(labels)} labels")
+        if not texts:
+            raise NlpError("no training examples")
+        token_lists = [normalize_tokens(tokenize(t)) for t in texts]
+        document_frequency: Counter = Counter()
+        for tokens in token_lists:
+            document_frequency.update(set(tokens))
+        total = len(token_lists)
+        self._idf = {token: math.log(total / df)
+                     for token, df in document_frequency.items()}
+
+        sums: dict[FaultTag, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float))
+        counts: Counter = Counter()
+        for tokens, label in zip(token_lists, labels):
+            vector = _vectorize(tokens, self._idf)
+            counts[label] += 1
+            for token, value in vector.items():
+                sums[label][token] += value
+        self._centroids = {
+            label: {token: value / counts[label]
+                    for token, value in vector.items()}
+            for label, vector in sums.items()}
+        return self
+
+    def tag(self, text: str) -> TagResult:
+        """Classify one narrative (same interface as VotingTagger)."""
+        if not self.trained:
+            raise NlpError("classifier is not trained; call fit()")
+        tokens = normalize_tokens(tokenize(text))
+        vector = _vectorize(tokens, self._idf)
+        scores = {label: _cosine(vector, centroid)
+                  for label, centroid in self._centroids.items()}
+        best_tag, best_score = max(
+            scores.items(), key=lambda item: (item[1], item[0].value))
+        if best_score < self.min_similarity:
+            return TagResult(
+                tag=FaultTag.UNKNOWN,
+                category=FailureCategory.UNKNOWN,
+                scores=scores, confident=False)
+        return TagResult(
+            tag=best_tag, category=category_of(best_tag),
+            scores=scores, confident=True)

@@ -1,0 +1,148 @@
+"""Post-OCR text correction.
+
+Two repair strategies, both conservative (never fire on text that is
+already a known word or a plausible number):
+
+* **Lexicon repair** — single-edit lookup of unknown words against a
+  domain lexicon (vehicle/driving/failure vocabulary harvested from
+  the narrative templates plus common English glue words).
+* **Pattern repair** — digit de-confusion inside date-like, time-like,
+  and number-like spans (``O3/l4/2O15`` -> ``03/14/2015``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..synth.narratives import TEMPLATES
+
+_DIGIT_FIX = str.maketrans({
+    "O": "0", "o": "0", "l": "1", "I": "1", "|": "1",
+    "S": "5", "B": "8", "Z": "2", "g": "9",
+})
+
+#: Spans that should be purely numeric (with their separators).
+_NUMERIC_SPAN_RE = re.compile(
+    r"\b[\dOolI|SBZg]{1,4}([/:.\-][\dOolI|SBZg]{1,4}){1,3}\b")
+
+_WORD_RE = re.compile(r"[A-Za-z]{3,}")
+
+_GLUE_WORDS = (
+    "the and for with from that this was were not did didn't your are "
+    "has had its all one two out due too own other after before during "
+    "into over under behind ahead near while when where which vehicle "
+    "driver control manual mode test safely resumed took immediate "
+    "disengaged disengagement disengage autonomous report section "
+    "miles reaction time car road weather highway freeway interstate "
+    "street suburban rural parking city sunny cloudy overcast raining "
+    "clear night takeover request planned injection precautionary "
+    "initiated date month end state california traffic accident "
+    "manufacturer reporting period unknown none description location "
+    "collision speed injuries operation safe auto events "
+    # Month abbreviations and fleet vocabulary: without these the
+    # single-edit repair "fixes" Sep -> See and Leaf -> Lead.
+    "jan feb mar apr may jun jul aug sep oct nov dec "
+    "january february march april june july august september october "
+    "november december "
+    "leaf alfa bravo charlie delta echo foxtrot golf hotel india "
+    "juliett kilo lima mike oscar papa quebec romeo sierra tango "
+    "uniform victor whiskey xray yankee zulu "
+    "initiator cause mercedes benz bosch delphi nissan tesla "
+    "volkswagen waymo cruise gmcruise ford honda uber atc bmw").split()
+
+
+def _harvest_lexicon() -> frozenset[str]:
+    words: set[str] = set(_GLUE_WORDS)
+    for templates in TEMPLATES.values():
+        for template in templates:
+            for word in _WORD_RE.findall(template.text):
+                words.add(word.lower())
+            for choice in template.choices:
+                for word in _WORD_RE.findall(choice):
+                    words.add(word.lower())
+    return frozenset(words)
+
+
+#: Alphabetic token that swallowed digit look-alikes (``p1anned``,
+#: ``SECTI0N``): mostly letters, no hyphen, at least one confusable.
+_DIGIT_IN_WORD_RE = re.compile(
+    r"\b[A-Za-z]+[0l1|5I][A-Za-z0l1|5I]*[A-Za-z]\b")
+
+_WORD_DIGIT_FIX = str.maketrans({"0": "o", "1": "l", "|": "l", "5": "s"})
+
+#: Digraph confusions the channel applies that a single-edit repair
+#: cannot undo (they change word length by one in a correlated way).
+_DIGRAPH_SWAPS = (("rn", "m"), ("m", "rn"), ("cl", "d"), ("d", "cl"))
+
+
+def _single_edits(word: str) -> set[str]:
+    """All strings within one edit of ``word`` (lowercase letters)."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    splits = [(word[:i], word[i:]) for i in range(len(word) + 1)]
+    deletes = {left + right[1:] for left, right in splits if right}
+    replaces = {left + c + right[1:]
+                for left, right in splits if right for c in letters}
+    inserts = {left + c + right for left, right in splits for c in letters}
+    return deletes | replaces | inserts
+
+
+class OcrCorrector:
+    """Conservative post-OCR repair pass."""
+
+    def __init__(self, extra_lexicon: set[str] | None = None) -> None:
+        lexicon = set(_harvest_lexicon())
+        if extra_lexicon:
+            lexicon.update(w.lower() for w in extra_lexicon)
+        self._lexicon = frozenset(lexicon)
+
+    @property
+    def lexicon(self) -> frozenset[str]:
+        """The correction lexicon in use."""
+        return self._lexicon
+
+    def correct_line(self, line: str) -> str:
+        """Repair one OCR-output line."""
+        line = _NUMERIC_SPAN_RE.sub(
+            lambda m: m.group().translate(_DIGIT_FIX), line)
+        line = _DIGIT_IN_WORD_RE.sub(self._repair_digit_word, line)
+        return _WORD_RE.sub(self._repair_word, line)
+
+    def _repair_digit_word(self, match: re.Match[str]) -> str:
+        """Repair digits that crept inside an alphabetic word."""
+        token = match.group()
+        letters = sum(c.isalpha() for c in token)
+        if letters < 0.6 * len(token):
+            return token
+        candidate = token.translate(_WORD_DIGIT_FIX)
+        if candidate.lower() in self._lexicon:
+            return _match_case(token, candidate.lower())
+        return token
+
+    def correct_lines(self, lines: list[str]) -> list[str]:
+        """Repair a whole document."""
+        return [self.correct_line(line) for line in lines]
+
+    def _repair_word(self, match: re.Match[str]) -> str:
+        word = match.group()
+        lowered = word.lower()
+        if lowered in self._lexicon:
+            return word
+        for source, target in _DIGRAPH_SWAPS:
+            if source in lowered:
+                candidate = lowered.replace(source, target, 1)
+                if candidate in self._lexicon:
+                    return _match_case(word, candidate)
+        candidates = [c for c in _single_edits(lowered)
+                      if c in self._lexicon]
+        if len(candidates) == 1:
+            return _match_case(word, candidates[0])
+        return word
+
+
+def _match_case(original: str, repaired: str) -> str:
+    """Transfer the original word's casing onto the repaired word."""
+    if original.isupper():
+        return repaired.upper()
+    if original[:1].isupper():
+        return repaired.capitalize()
+    return repaired

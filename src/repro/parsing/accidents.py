@@ -1,0 +1,148 @@
+"""OL-316 accident report parser.
+
+Accident reports are one document per accident, in the labeled-field
+layout of the DMV's OL 316 form.  Fields may be OCR-damaged or marked
+UNKNOWN/[REDACTED]; every field is therefore optional.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from ..units import month_key
+from .fields import coerce_date, coerce_number
+from .records import AccidentRecord
+
+_FIELD_RE = re.compile(r"^\s*([A-Za-z][A-Za-z /]+?)\s*:\s*(.*)$")
+
+_ACCIDENT_MARKERS = ("OL 316", "OL-316", "TRAFFIC ACCIDENT", "0L 316",
+                     "TRAFFIC ACCIDENT".replace("I", "1"))
+
+#: Canonical OL-316 field labels; OCR-damaged labels snap to the
+#: closest one within edit distance 3.
+_KNOWN_FIELDS = (
+    "manufacturer", "date of accident", "location", "vehicle",
+    "autonomous mode at time of collision", "av speed",
+    "other vehicle speed", "collision type", "injuries", "description")
+
+
+def is_accident_document(lines: list[str]) -> bool:
+    """Whether ``lines`` look like an OL-316 accident report."""
+    head = " ".join(lines[:4]).upper()
+    return any(marker in head for marker in _ACCIDENT_MARKERS)
+
+
+def _snap_field(key: str) -> str:
+    from .base import _levenshtein
+
+    if key in _KNOWN_FIELDS:
+        return key
+    best_key, best_distance = key, 4
+    for known in _KNOWN_FIELDS:
+        distance = _levenshtein(key, known, cap=3)
+        if distance < best_distance:
+            best_key, best_distance = known, distance
+    return best_key
+
+
+def _snap_manufacturer(name: str) -> str:
+    """Snap an OCR-damaged manufacturer name to the known registry."""
+    from ..calibration.manufacturers import MANUFACTURERS
+    from .base import _levenshtein
+
+    if name in MANUFACTURERS:
+        return name
+    best_name, best_distance = name, 4
+    for known in MANUFACTURERS:
+        distance = _levenshtein(name.lower(), known.lower(), cap=3)
+        if distance < best_distance:
+            best_name, best_distance = known, distance
+    return best_name
+
+
+def _field_map(lines: list[str]) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for line in lines:
+        match = _FIELD_RE.match(line)
+        if match:
+            key = _snap_field(match.group(1).strip().lower())
+            fields[key] = match.group(2).strip()
+    return fields
+
+
+def _maybe_speed(text: str | None) -> float | None:
+    if not text or text.strip().upper().startswith("UNKNOWN"):
+        return None
+    try:
+        return coerce_number(text)
+    except ParseError:
+        return None
+
+
+def parse_accident_report(lines: list[str],
+                          document_id: str) -> AccidentRecord:
+    """Parse one OL-316 document into an :class:`AccidentRecord`."""
+    if not is_accident_document(lines):
+        raise ParseError(
+            "document does not look like an OL-316 accident report",
+            line=lines[0] if lines else None)
+    fields = _field_map(lines)
+    manufacturer = _snap_manufacturer(fields.get("manufacturer", "").strip())
+    if not manufacturer:
+        raise ParseError("accident report lacks a manufacturer field")
+
+    event_date = None
+    date_text = fields.get("date of accident", "")
+    if date_text and not date_text.upper().startswith("UNKNOWN"):
+        try:
+            event_date = coerce_date(date_text)
+        except ParseError:
+            event_date = None
+
+    vehicle_text = fields.get("vehicle", "")
+    redacted = "REDACTED" in vehicle_text.upper()
+    vehicle_id = None
+    if vehicle_text and not redacted and vehicle_text.lower() != "unknown":
+        vehicle_id = vehicle_text
+
+    mode_text = fields.get(
+        "autonomous mode at time of collision", "").upper()
+    autonomous = None
+    if mode_text.startswith("YES"):
+        autonomous = True
+    elif mode_text.startswith("NO"):
+        autonomous = False
+
+    description = fields.get("description", "")
+    disengaged_before = bool(re.search(
+        r"(?i)disengag\w+ autonomous mode prior to the collision",
+        description))
+
+    injuries_text = fields.get("injuries", "NONE").upper()
+    injuries = injuries_text.startswith("YES")
+
+    collision_type = fields.get("collision type") or None
+    if collision_type and collision_type.lower() == "unknown":
+        collision_type = None
+
+    location = fields.get("location") or None
+    if location and location.upper() == "UNKNOWN":
+        location = None
+
+    return AccidentRecord(
+        manufacturer=manufacturer,
+        event_date=event_date,
+        month=month_key(event_date) if event_date else None,
+        location=location,
+        autonomous_at_collision=autonomous,
+        disengaged_before_collision=disengaged_before,
+        av_speed_mph=_maybe_speed(fields.get("av speed")),
+        other_speed_mph=_maybe_speed(fields.get("other vehicle speed")),
+        collision_type=collision_type,
+        injuries=injuries,
+        redacted=redacted,
+        vehicle_id=vehicle_id,
+        description=description,
+        source_document=document_id,
+    )

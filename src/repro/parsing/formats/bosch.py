@@ -1,0 +1,59 @@
+"""Bosch disengagement-report parser.
+
+Bosch reports every disengagement as a planned test, in pipe-separated
+rows::
+
+    2015-03-14 | ...4T8R2 | planned test | <description> | highway |
+    Sunny/Dry
+"""
+
+from __future__ import annotations
+
+from ...errors import ParseError
+from ...taxonomy import Modality
+from ..base import ReportParser
+from ..fields import (
+    coerce_date,
+    coerce_road_type,
+    coerce_weather,
+    split_fields,
+)
+from ..records import DisengagementRecord, MonthlyMileage
+from .common import parse_default_mileage
+
+
+class BoschParser(ReportParser):
+    """Parser for Bosch's pipe-separated planned-test rows."""
+
+    manufacturer = "Bosch"
+
+    def parse_mileage(self, line: str) -> MonthlyMileage | None:
+        return parse_default_mileage(self.manufacturer, line)
+
+    def parse_row(self, line: str) -> DisengagementRecord | None:
+        fields = split_fields(line, "|")
+        if len(fields) < 6:
+            return None
+        try:
+            event_date = coerce_date(fields[0])
+        except ParseError:
+            return None
+        if "planned" not in fields[2].lower():
+            return None
+        weather = coerce_weather(fields[-1])
+        road = coerce_road_type(fields[-2])
+        description = " | ".join(fields[3:-2]).strip()
+        if not description:
+            return None
+        return DisengagementRecord(
+            manufacturer=self.manufacturer,
+            month=f"{event_date.year:04d}-{event_date.month:02d}",
+            event_date=event_date,
+            time_of_day=None,
+            vehicle_id=fields[1] or None,
+            modality=Modality.PLANNED,
+            road_type=road,
+            weather=weather,
+            reaction_time_s=None,
+            description=description,
+        )

@@ -1,0 +1,76 @@
+"""Delphi disengagement-report parser.
+
+Delphi rows are eight-column CSV::
+
+    03/14/2015,14:02:07,...4T8R2,manual,"<description>",highway,
+    Sunny/Dry,1.1
+
+Mileage lines are three-column CSV: ``2015-03,...4T8R2,833.1``.
+"""
+
+from __future__ import annotations
+
+from ...errors import ParseError
+from ..base import ReportParser
+from ..fields import (
+    coerce_date,
+    coerce_modality,
+    coerce_number,
+    coerce_reaction_time,
+    coerce_road_type,
+    coerce_time,
+    coerce_weather,
+    split_csv,
+)
+from ..records import DisengagementRecord, MonthlyMileage
+from .common import coerce_month_iso
+
+
+class DelphiParser(ReportParser):
+    """Parser for Delphi's CSV rows."""
+
+    manufacturer = "Delphi"
+
+    def parse_mileage(self, line: str) -> MonthlyMileage | None:
+        fields = split_csv(line)
+        if len(fields) != 3:
+            return None
+        try:
+            month = coerce_month_iso(fields[0])
+            miles = coerce_number(fields[2])
+        except ParseError:
+            return None
+        return MonthlyMileage(
+            manufacturer=self.manufacturer, month=month,
+            miles=miles, vehicle_id=fields[1] or None)
+
+    def parse_row(self, line: str) -> DisengagementRecord | None:
+        fields = split_csv(line)
+        if len(fields) != 8:
+            return None
+        try:
+            event_date = coerce_date(fields[0])
+            time_of_day = coerce_time(fields[1])
+        except ParseError:
+            return None
+        description = fields[4].strip().strip('"')
+        if not description:
+            return None
+        reaction = None
+        if fields[7]:
+            try:
+                reaction = coerce_reaction_time(fields[7] + " s")
+            except ParseError:
+                reaction = None
+        return DisengagementRecord(
+            manufacturer=self.manufacturer,
+            month=f"{event_date.year:04d}-{event_date.month:02d}",
+            event_date=event_date,
+            time_of_day=time_of_day,
+            vehicle_id=fields[2] or None,
+            modality=coerce_modality(fields[3]),
+            road_type=coerce_road_type(fields[5]),
+            weather=coerce_weather(fields[6]),
+            reaction_time_s=reaction,
+            description=description,
+        )

@@ -1,0 +1,51 @@
+"""Fallback parser for manufacturers without a bespoke format.
+
+Handles the pipe-separated generic rows the synthesizer emits for
+Ford, BMW, Honda, and Uber ATC::
+
+    2016-08-14 | unknown vehicle | Auto | <description>
+"""
+
+from __future__ import annotations
+
+from ...errors import ParseError
+from ..base import ReportParser
+from ..fields import coerce_date, coerce_modality, split_fields
+from ..records import DisengagementRecord, MonthlyMileage
+from .common import parse_default_mileage
+
+
+class GenericParser(ReportParser):
+    """Pipe-separated fallback format, parameterized by manufacturer."""
+
+    def __init__(self, manufacturer: str) -> None:
+        self.manufacturer = manufacturer
+
+    def parse_mileage(self, line: str) -> MonthlyMileage | None:
+        return parse_default_mileage(self.manufacturer, line)
+
+    def parse_row(self, line: str) -> DisengagementRecord | None:
+        fields = split_fields(line, "|")
+        if len(fields) < 4:
+            return None
+        try:
+            event_date = coerce_date(fields[0])
+        except ParseError:
+            return None
+        description = " | ".join(fields[3:]).strip()
+        if not description:
+            return None
+        vehicle = fields[1].strip()
+        return DisengagementRecord(
+            manufacturer=self.manufacturer,
+            month=f"{event_date.year:04d}-{event_date.month:02d}",
+            event_date=event_date,
+            time_of_day=None,
+            vehicle_id=None if vehicle.lower().startswith("unknown")
+            else vehicle,
+            modality=coerce_modality(fields[2]),
+            road_type=None,
+            weather=None,
+            reaction_time_s=None,
+            description=description,
+        )

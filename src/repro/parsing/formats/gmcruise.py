@@ -1,0 +1,50 @@
+"""GM Cruise disengagement-report parser.
+
+GM Cruise reports planned tests in minimal CSV rows::
+
+    2016-08-14,"<description>",planned
+"""
+
+from __future__ import annotations
+
+from ...errors import ParseError
+from ...taxonomy import Modality
+from ..base import ReportParser
+from ..fields import coerce_date, split_csv
+from ..records import DisengagementRecord, MonthlyMileage
+from .common import parse_default_mileage
+
+
+class GmCruiseParser(ReportParser):
+    """Parser for GM Cruise's three-column CSV rows."""
+
+    manufacturer = "GMCruise"
+
+    def parse_mileage(self, line: str) -> MonthlyMileage | None:
+        return parse_default_mileage(self.manufacturer, line)
+
+    def parse_row(self, line: str) -> DisengagementRecord | None:
+        fields = split_csv(line)
+        if len(fields) != 3:
+            return None
+        if "planned" not in fields[2].lower():
+            return None
+        try:
+            event_date = coerce_date(fields[0])
+        except ParseError:
+            return None
+        description = fields[1].strip().strip('"')
+        if not description:
+            return None
+        return DisengagementRecord(
+            manufacturer=self.manufacturer,
+            month=f"{event_date.year:04d}-{event_date.month:02d}",
+            event_date=event_date,
+            time_of_day=None,
+            vehicle_id=None,
+            modality=Modality.PLANNED,
+            road_type=None,
+            weather=None,
+            reaction_time_s=None,
+            description=description,
+        )

@@ -1,0 +1,70 @@
+"""Nissan disengagement-report parser.
+
+Row format (Table II style)::
+
+    1/4/16 — 1:25 PM — Leaf #1 (Alfa) — Manual — Software module
+    froze. ... — city street — Sunny/Dry — 0.9 s
+
+Mileage lines use the default ``MILES <month> <vehicle> <miles>``
+style.
+"""
+
+from __future__ import annotations
+
+from ...errors import ParseError
+from ..base import ReportParser
+from ..fields import (
+    coerce_date,
+    coerce_modality,
+    coerce_reaction_time,
+    coerce_road_type,
+    coerce_time,
+    coerce_weather,
+    split_fields,
+)
+from ..records import DisengagementRecord, MonthlyMileage
+from .common import DURATION_TAIL, parse_default_mileage
+
+
+class NissanParser(ReportParser):
+    """Parser for Nissan's em-dash separated rows."""
+
+    manufacturer = "Nissan"
+
+    def parse_mileage(self, line: str) -> MonthlyMileage | None:
+        return parse_default_mileage(self.manufacturer, line)
+
+    def parse_row(self, line: str) -> DisengagementRecord | None:
+        fields = split_fields(line, "—")
+        if len(fields) < 6:
+            return None
+        try:
+            event_date = coerce_date(fields[0])
+            time_of_day = coerce_time(fields[1])
+        except ParseError:
+            return None
+        vehicle_id = fields[2]
+        modality = coerce_modality(fields[3])
+        rest = fields[4:]
+        reaction_text = None
+        if len(rest) >= 3:
+            from .common import pop_tail_field
+            reaction_text = pop_tail_field(rest, DURATION_TAIL)
+        weather = coerce_weather(rest.pop()) if len(rest) >= 3 else None
+        road = coerce_road_type(rest.pop()) if len(rest) >= 2 else None
+        description = " — ".join(rest).strip()
+        if not description:
+            return None
+        return DisengagementRecord(
+            manufacturer=self.manufacturer,
+            month=f"{event_date.year:04d}-{event_date.month:02d}",
+            event_date=event_date,
+            time_of_day=time_of_day,
+            vehicle_id=vehicle_id,
+            modality=modality,
+            road_type=road,
+            weather=weather,
+            reaction_time_s=(coerce_reaction_time(reaction_text)
+                             if reaction_text else None),
+            description=description,
+        )

@@ -1,0 +1,67 @@
+"""Volkswagen disengagement-report parser.
+
+Row format (Table II: ``11/12/14 — 18:24:03 — Takeover-Request —
+watchdog error``)::
+
+    MM/DD/YY — HH:MM:SS — Takeover-Request — <description>
+      [— reaction time: 1.2 s]
+
+All Volkswagen disengagements are automatic (Table V), so the modality
+is implied by the format rather than carried as a field.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ...errors import ParseError
+from ...taxonomy import Modality
+from ..base import ReportParser
+from ..fields import coerce_date, coerce_reaction_time, coerce_time, split_fields
+from ..records import DisengagementRecord, MonthlyMileage
+from .common import parse_default_mileage
+
+_REACTION_RE = re.compile(r"(?i)^reaction time\s*:\s*(.+)$")
+
+
+class VolkswagenParser(ReportParser):
+    """Parser for Volkswagen's takeover-request rows."""
+
+    manufacturer = "Volkswagen"
+
+    def parse_mileage(self, line: str) -> MonthlyMileage | None:
+        return parse_default_mileage(self.manufacturer, line)
+
+    def parse_row(self, line: str) -> DisengagementRecord | None:
+        fields = split_fields(line, "—")
+        if len(fields) < 4:
+            return None
+        try:
+            event_date = coerce_date(fields[0])
+            time_of_day = coerce_time(fields[1])
+        except ParseError:
+            return None
+        if "takeover" not in fields[2].lower():
+            return None
+        rest = fields[3:]
+        reaction = None
+        if rest:
+            match = _REACTION_RE.match(rest[-1].strip())
+            if match:
+                reaction = coerce_reaction_time(match.group(1))
+                rest.pop()
+        description = " — ".join(rest).strip()
+        if not description:
+            return None
+        return DisengagementRecord(
+            manufacturer=self.manufacturer,
+            month=f"{event_date.year:04d}-{event_date.month:02d}",
+            event_date=event_date,
+            time_of_day=time_of_day,
+            vehicle_id=None,
+            modality=Modality.AUTOMATIC,
+            road_type=None,
+            weather=None,
+            reaction_time_s=reaction,
+            description=description,
+        )

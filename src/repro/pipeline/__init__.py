@@ -1,0 +1,21 @@
+"""End-to-end pipeline: Stage I (data) through Stage IV inputs.
+
+``run_pipeline`` wires everything together: synthesize (or accept) a
+raw corpus, push it through the OCR channel, parse and normalize it,
+tag every narrative with the NLP engine, and assemble the consolidated
+failure database that the statistical analyses consume.
+"""
+
+from .config import PipelineConfig
+from .store import FailureDatabase
+from .stages import PipelineDiagnostics
+from .runner import PipelineResult, run_pipeline, process_corpus
+
+__all__ = [
+    "PipelineConfig",
+    "FailureDatabase",
+    "PipelineDiagnostics",
+    "PipelineResult",
+    "run_pipeline",
+    "process_corpus",
+]

@@ -1,0 +1,47 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ocr.fallback import DEFAULT_CONFIDENCE_THRESHOLD
+from ..ocr.scanner import ScannerProfile
+from ..rng import DEFAULT_SEED
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs for one end-to-end pipeline run.
+
+    The defaults reproduce the paper's setup; the switches exist for
+    the ablation benches (OCR channel off, correction off, seed-only
+    dictionary, generic parser).
+    """
+
+    #: Seed for corpus synthesis and the OCR channel.
+    seed: int = DEFAULT_SEED
+    #: Restrict to a subset of manufacturers (None = all of Table I).
+    manufacturers: list[str] | None = None
+    #: Scan-quality regime.
+    scanner_profile: ScannerProfile = field(default_factory=ScannerProfile)
+    #: Disable the OCR noise channel entirely (documents pass through
+    #: clean) — ablation only.
+    ocr_enabled: bool = True
+    #: Disable the post-OCR correction pass — ablation only.
+    correction_enabled: bool = True
+    #: Mean page confidence below which a page is manually transcribed.
+    fallback_threshold: float = DEFAULT_CONFIDENCE_THRESHOLD
+    #: "expanded" builds the failure dictionary from the corpus (the
+    #: paper's multi-pass construction); "seed" uses only the
+    #: hand-curated seeds.
+    dictionary_mode: str = "expanded"
+    #: Drop planned-test disengagements instead of annotating them.
+    drop_planned: bool = False
+    #: Attach ground-truth tags to parsed records for evaluation.
+    attach_truth: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dictionary_mode not in ("seed", "expanded"):
+            raise ValueError(
+                f"dictionary_mode must be 'seed' or 'expanded', got "
+                f"{self.dictionary_mode!r}")

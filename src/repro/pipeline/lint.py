@@ -1,0 +1,145 @@
+"""Consistency linting for a failure database.
+
+A data-quality gate a production deployment would run after ingest:
+checks internal invariants of the consolidated database and returns
+typed findings instead of raising, so an operator can triage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..calibration.manufacturers import PERIODS
+from ..taxonomy import FailureCategory, category_of
+from ..units import months_between
+from .store import FailureDatabase
+
+
+class Severity(enum.Enum):
+    """Finding severity."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    severity: Severity
+    check: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return f"[{self.severity}] {self.check}: {self.message}"
+
+
+def _coverage_months() -> set[str]:
+    months: set[str] = set()
+    for start, end in PERIODS.values():
+        months.update(months_between(start, end))
+    return months
+
+
+def lint_database(db: FailureDatabase) -> list[Finding]:
+    """Run all consistency checks; returns findings (possibly empty)."""
+    findings: list[Finding] = []
+    coverage = _coverage_months()
+
+    # --- disengagement records -------------------------------------
+    for index, record in enumerate(db.disengagements):
+        where = f"disengagement[{index}] ({record.manufacturer})"
+        if record.month not in coverage:
+            findings.append(Finding(
+                Severity.ERROR, "month-coverage",
+                f"{where}: month {record.month} outside the study "
+                "window"))
+        if record.event_date is not None and \
+                record.event_date.strftime("%Y-%m") != record.month:
+            findings.append(Finding(
+                Severity.ERROR, "date-month-mismatch",
+                f"{where}: event date {record.event_date} does not "
+                f"match month {record.month}"))
+        if record.tag is not None and record.category is not None \
+                and category_of(record.tag) is not record.category:
+            findings.append(Finding(
+                Severity.ERROR, "tag-category-mismatch",
+                f"{where}: tag {record.tag} implies "
+                f"{category_of(record.tag)}, record says "
+                f"{record.category}"))
+        if record.reaction_time_s is not None \
+                and record.reaction_time_s > 3600:
+            findings.append(Finding(
+                Severity.WARNING, "implausible-reaction-time",
+                f"{where}: reaction time {record.reaction_time_s}s"))
+        if not record.description.strip():
+            findings.append(Finding(
+                Severity.ERROR, "empty-description", where))
+
+    # --- mileage ----------------------------------------------------
+    for index, cell in enumerate(db.mileage):
+        if cell.miles < 0:
+            findings.append(Finding(
+                Severity.ERROR, "negative-miles",
+                f"mileage[{index}] ({cell.manufacturer} {cell.month})"))
+        if cell.month not in coverage:
+            findings.append(Finding(
+                Severity.ERROR, "mileage-month-coverage",
+                f"mileage[{index}] ({cell.manufacturer}): "
+                f"{cell.month} outside the study window"))
+
+    # --- events without exposure ------------------------------------
+    miles = db.miles_by_manufacturer()
+    for name, records in db.disengagements_by_manufacturer().items():
+        if records and miles.get(name, 0.0) <= 0:
+            findings.append(Finding(
+                Severity.ERROR, "events-without-miles",
+                f"{name}: {len(records)} disengagements but no "
+                "mileage"))
+
+    # --- accidents ---------------------------------------------------
+    for index, accident in enumerate(db.accidents):
+        where = f"accident[{index}] ({accident.manufacturer})"
+        if accident.month is not None and accident.month not in coverage:
+            findings.append(Finding(
+                Severity.ERROR, "accident-month-coverage",
+                f"{where}: month {accident.month} outside the study "
+                "window"))
+        if accident.av_speed_mph is not None \
+                and accident.av_speed_mph > 100:
+            findings.append(Finding(
+                Severity.WARNING, "implausible-speed",
+                f"{where}: AV speed {accident.av_speed_mph} mph"))
+        if accident.redacted and accident.vehicle_id is not None:
+            findings.append(Finding(
+                Severity.ERROR, "redaction-leak",
+                f"{where}: redacted but carries a vehicle id"))
+
+    # --- aggregate sanity --------------------------------------------
+    untagged = sum(1 for r in db.disengagements if r.tag is None)
+    if untagged:
+        findings.append(Finding(
+            Severity.WARNING, "untagged-records",
+            f"{untagged} disengagements lack an NLP tag"))
+    unknown = sum(
+        1 for r in db.disengagements
+        if r.category is FailureCategory.UNKNOWN
+        and r.manufacturer != "Tesla")
+    total = sum(1 for r in db.disengagements
+                if r.manufacturer != "Tesla")
+    if total and unknown / total > 0.25:
+        findings.append(Finding(
+            Severity.WARNING, "unknown-category-share",
+            f"{unknown}/{total} non-Tesla records are Unknown-C: the "
+            "dictionary may be stale"))
+    return findings
+
+
+def errors(findings: list[Finding]) -> list[Finding]:
+    """Just the ERROR-severity findings."""
+    return [f for f in findings if f.severity is Severity.ERROR]

@@ -1,0 +1,141 @@
+"""End-to-end pipeline orchestration (Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+from ..nlp.dictionary import FailureDictionary
+from ..nlp.evaluation import evaluate_tagger
+from ..nlp.tagger import VotingTagger
+from ..parsing import (
+    default_registry,
+    filter_records,
+    parse_accident_report,
+)
+from ..parsing.normalize import (
+    NormalizationStats,
+    normalize_accident,
+    normalize_records,
+)
+from ..rng import child_generator
+from ..synth.dataset import SyntheticCorpus, generate_corpus
+from ..synth.reports import RawDocument
+from .config import PipelineConfig
+from .stages import OcrStage, PipelineDiagnostics
+from .store import FailureDatabase
+
+
+@dataclass
+class PipelineResult:
+    """Output of one pipeline run."""
+
+    database: FailureDatabase
+    diagnostics: PipelineDiagnostics
+    config: PipelineConfig
+
+
+def run_pipeline(config: PipelineConfig | None = None) -> PipelineResult:
+    """Synthesize the corpus and process it end to end."""
+    config = config or PipelineConfig()
+    corpus = generate_corpus(config.seed, config.manufacturers)
+    return process_corpus(corpus, config)
+
+
+def process_corpus(corpus: SyntheticCorpus,
+                   config: PipelineConfig | None = None) -> PipelineResult:
+    """Process an existing raw corpus through Stages II-IV."""
+    config = config or PipelineConfig()
+    diagnostics = PipelineDiagnostics()
+    database = FailureDatabase()
+
+    ocr_stage = OcrStage(
+        config.scanner_profile, config.correction_enabled,
+        config.fallback_threshold) if config.ocr_enabled else None
+    registry = default_registry()
+
+    raw_disengagements = []
+    raw_mileage = []
+    for document in corpus.disengagement_documents:
+        lines = _through_ocr(document, ocr_stage, config, diagnostics)
+        try:
+            parsed = registry.resolve(lines).parse(
+                lines, document.document_id)
+        except ParseError:
+            diagnostics.parse.unparsed_lines += len(lines)
+            continue
+        diagnostics.parse.documents += 1
+        diagnostics.parse.disengagements_parsed += len(
+            parsed.disengagements)
+        diagnostics.parse.mileage_cells_parsed += len(parsed.mileage)
+        diagnostics.parse.unparsed_lines += sum(
+            1 for line in parsed.unparsed_lines if line.strip())
+        if config.attach_truth:
+            _attach_truth(document, parsed.disengagements)
+        raw_disengagements.extend(parsed.disengagements)
+        raw_mileage.extend(parsed.mileage)
+
+    for document in corpus.accident_documents:
+        lines = _through_ocr(document, ocr_stage, config, diagnostics)
+        try:
+            accident = parse_accident_report(
+                lines, document.document_id)
+        except ParseError:
+            diagnostics.parse.unparsed_lines += len(lines)
+            continue
+        diagnostics.parse.accidents_parsed += 1
+        database.accidents.append(normalize_accident(accident))
+
+    normalized, mileage, norm_stats = normalize_records(
+        raw_disengagements, raw_mileage)
+    diagnostics.normalization = norm_stats
+
+    filtered, filter_stats = filter_records(
+        normalized, drop_planned=config.drop_planned)
+    diagnostics.filters = filter_stats
+
+    dictionary = _build_dictionary(filtered, config)
+    diagnostics.dictionary_entries = len(dictionary)
+    tagger = VotingTagger(dictionary)
+    for record in filtered:
+        result = tagger.tag(record.description)
+        record.tag = result.tag
+        record.category = result.category
+
+    if config.attach_truth:
+        diagnostics.tagging = evaluate_tagger(tagger, filtered)
+
+    database.disengagements = filtered
+    database.mileage = mileage
+    return PipelineResult(
+        database=database, diagnostics=diagnostics, config=config)
+
+
+def _through_ocr(document: RawDocument, ocr_stage: OcrStage | None,
+                 config: PipelineConfig,
+                 diagnostics: PipelineDiagnostics) -> list[str]:
+    if ocr_stage is None:
+        return list(document.lines)
+    rng = child_generator(config.seed, f"ocr:{document.document_id}")
+    return ocr_stage.process(document, rng, diagnostics.ocr)
+
+
+def _attach_truth(document: RawDocument, parsed) -> None:
+    """Copy ground-truth tags onto parsed records by source line.
+
+    Line numbers are stable through the OCR channel (lines are never
+    merged or split), so (document, line) identifies the record.
+    """
+    truth_by_line = {r.source_line: r
+                     for r in document.truth_disengagements}
+    for record in parsed:
+        truth = truth_by_line.get(record.source_line)
+        if truth is not None:
+            record.truth_tag = truth.truth_tag
+
+
+def _build_dictionary(records, config: PipelineConfig) -> FailureDictionary:
+    if config.dictionary_mode == "seed":
+        return FailureDictionary.from_seeds()
+    texts = [r.description for r in records]
+    return FailureDictionary.build(texts)

@@ -1,0 +1,91 @@
+"""Stage implementations and diagnostics for the pipeline runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nlp.evaluation import TaggingReport
+from ..ocr import (
+    ManualTranscriptionQueue,
+    OcrCorrector,
+    OcrEngine,
+    Scanner,
+    apply_fallback,
+)
+from ..ocr.scanner import ScannerProfile
+from ..parsing.filters import FilterStats
+from ..parsing.normalize import NormalizationStats
+from ..synth.reports import RawDocument
+
+
+@dataclass
+class OcrStageStats:
+    """Diagnostics of the OCR stage."""
+
+    documents: int = 0
+    pages: int = 0
+    lines: int = 0
+    mean_confidence: float = 1.0
+    fallback_pages: int = 0
+    fallback_lines: int = 0
+
+
+@dataclass
+class ParseStageStats:
+    """Diagnostics of the parsing stage."""
+
+    documents: int = 0
+    disengagements_parsed: int = 0
+    mileage_cells_parsed: int = 0
+    accidents_parsed: int = 0
+    unparsed_lines: int = 0
+
+
+@dataclass
+class PipelineDiagnostics:
+    """Everything the pipeline observed about its own run."""
+
+    ocr: OcrStageStats = field(default_factory=OcrStageStats)
+    parse: ParseStageStats = field(default_factory=ParseStageStats)
+    normalization: NormalizationStats = field(
+        default_factory=NormalizationStats)
+    filters: FilterStats = field(default_factory=FilterStats)
+    #: NLP accuracy vs. ground truth (when truth is attached).
+    tagging: TaggingReport | None = None
+    #: Dictionary size used for tagging.
+    dictionary_entries: int = 0
+
+
+class OcrStage:
+    """Stage I/II boundary: scan, recognize, correct, fall back."""
+
+    def __init__(self, profile: ScannerProfile,
+                 correction_enabled: bool,
+                 fallback_threshold: float) -> None:
+        self.scanner = Scanner(profile)
+        self.engine = OcrEngine()
+        self.corrector = OcrCorrector() if correction_enabled else None
+        self.queue = ManualTranscriptionQueue(
+            threshold=fallback_threshold)
+
+    def process(self, document: RawDocument, rng: np.random.Generator,
+                stats: OcrStageStats) -> list[str]:
+        """Run one raw document through the OCR channel."""
+        scanned = self.scanner.scan(
+            document.document_id, document.lines, rng)
+        result = self.engine.recognize(scanned, rng)
+        lines = apply_fallback(scanned, result, self.queue)
+        if self.corrector is not None:
+            lines = self.corrector.correct_lines(lines)
+        stats.documents += 1
+        stats.pages += len(scanned.pages)
+        stats.lines += len(lines)
+        # Running mean of document confidences.
+        n = stats.documents
+        stats.mean_confidence += (
+            result.mean_confidence - stats.mean_confidence) / n
+        stats.fallback_pages = self.queue.pages_transcribed
+        stats.fallback_lines = self.queue.lines_transcribed
+        return lines

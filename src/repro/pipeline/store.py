@@ -1,0 +1,140 @@
+"""The consolidated AV failure database (pipeline step 4).
+
+Holds the tagged disengagement records, accident records, and monthly
+mileage cells, with the grouping helpers every Stage IV analysis
+needs, plus a JSON round-trip for persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+
+
+@dataclass
+class FailureDatabase:
+    """Consolidated, analysis-ready failure data."""
+
+    disengagements: list[DisengagementRecord] = field(default_factory=list)
+    accidents: list[AccidentRecord] = field(default_factory=list)
+    mileage: list[MonthlyMileage] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Grouping helpers.
+    # ------------------------------------------------------------------
+
+    def manufacturers(self) -> list[str]:
+        """Manufacturers present, sorted."""
+        names = {r.manufacturer for r in self.disengagements}
+        names.update(r.manufacturer for r in self.accidents)
+        names.update(m.manufacturer for m in self.mileage)
+        return sorted(names)
+
+    def disengagements_by_manufacturer(
+            self) -> dict[str, list[DisengagementRecord]]:
+        """Manufacturer -> its disengagement records."""
+        grouped: dict[str, list[DisengagementRecord]] = defaultdict(list)
+        for record in self.disengagements:
+            grouped[record.manufacturer].append(record)
+        return dict(grouped)
+
+    def accidents_by_manufacturer(self) -> dict[str, list[AccidentRecord]]:
+        """Manufacturer -> its accident records."""
+        grouped: dict[str, list[AccidentRecord]] = defaultdict(list)
+        for record in self.accidents:
+            grouped[record.manufacturer].append(record)
+        return dict(grouped)
+
+    def miles_by_manufacturer(self) -> dict[str, float]:
+        """Manufacturer -> total autonomous miles."""
+        totals: dict[str, float] = defaultdict(float)
+        for cell in self.mileage:
+            totals[cell.manufacturer] += cell.miles
+        return dict(totals)
+
+    def monthly_miles(self, manufacturer: str) -> dict[str, float]:
+        """Month -> miles for one manufacturer."""
+        totals: dict[str, float] = defaultdict(float)
+        for cell in self.mileage:
+            if cell.manufacturer == manufacturer:
+                totals[cell.month] += cell.miles
+        return dict(sorted(totals.items()))
+
+    def monthly_disengagements(self, manufacturer: str) -> dict[str, int]:
+        """Month -> disengagement count for one manufacturer."""
+        counts: dict[str, int] = defaultdict(int)
+        for record in self.disengagements:
+            if record.manufacturer == manufacturer:
+                counts[record.month] += 1
+        return dict(sorted(counts.items()))
+
+    def vehicle_miles(self, manufacturer: str) -> dict[str, float]:
+        """Vehicle id -> miles for one manufacturer."""
+        totals: dict[str, float] = defaultdict(float)
+        for cell in self.mileage:
+            if cell.manufacturer == manufacturer and cell.vehicle_id:
+                totals[cell.vehicle_id] += cell.miles
+        return dict(totals)
+
+    def vehicle_disengagements(self, manufacturer: str) -> dict[str, int]:
+        """Vehicle id -> disengagement count for one manufacturer."""
+        counts: dict[str, int] = defaultdict(int)
+        for record in self.disengagements:
+            if record.manufacturer == manufacturer and record.vehicle_id:
+                counts[record.vehicle_id] += 1
+        return dict(counts)
+
+    def reaction_times(self, manufacturer: str | None = None,
+                       ) -> list[float]:
+        """Reported reaction times (seconds), optionally filtered."""
+        return [r.reaction_time_s for r in self.disengagements
+                if r.reaction_time_s is not None
+                and (manufacturer is None
+                     or r.manufacturer == manufacturer)]
+
+    @property
+    def total_miles(self) -> float:
+        """Total autonomous miles in the database."""
+        return sum(cell.miles for cell in self.mileage)
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the database to a JSON string."""
+        return json.dumps({
+            "disengagements": [r.to_dict() for r in self.disengagements],
+            "accidents": [r.to_dict() for r in self.accidents],
+            "mileage": [m.to_dict() for m in self.mileage],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureDatabase":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(text)
+        return cls(
+            disengagements=[DisengagementRecord.from_dict(d)
+                            for d in data["disengagements"]],
+            accidents=[AccidentRecord.from_dict(d)
+                       for d in data["accidents"]],
+            mileage=[MonthlyMileage.from_dict(d)
+                     for d in data["mileage"]],
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the database to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FailureDatabase":
+        """Read a database previously written with :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,146 @@
+"""Extension exhibits beyond the paper's tables and figures.
+
+These cover the analyses this repository adds on top of the paper:
+the reporting census (data-heterogeneity), condition breakdowns, the
+fault-injection campaign, and the trip-simulator validation.  They are
+registered in the experiment registry under ``ext-*`` ids so the CLI's
+``report all`` includes them.
+"""
+
+from __future__ import annotations
+
+from ..analysis.conditions import (
+    reporting_census,
+    road_type_breakdown,
+    time_of_day_breakdown,
+    weather_breakdown,
+)
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from ..stpa import overlay_failures
+from ..stpa.fault_injection import FaultInjector
+from .tables import Table
+
+_CENSUS_FIELDS = ("event_date", "time_of_day", "vehicle_id",
+                  "road_type", "weather", "reaction_time_s",
+                  "modality")
+
+
+def census_table(db: FailureDatabase) -> Table:
+    """Per-manufacturer share of records reporting each field."""
+    table = Table(
+        title="Extension: reporting census (share of records with "
+              "each field)",
+        columns=["Manufacturer"] + [f.replace("_", " ")
+                                    for f in _CENSUS_FIELDS])
+    for name, fields in sorted(reporting_census(db).items()):
+        table.add_row(name, *(round(fields[f], 2)
+                              for f in _CENSUS_FIELDS))
+    table.notes.append(
+        "quantifies the data-heterogeneity threat of Section VI")
+    return table
+
+
+def conditions_table(db: FailureDatabase) -> Table:
+    """Disengagement shares by road type, weather, and hour band."""
+    table = Table(
+        title="Extension: disengagements by condition",
+        columns=["Condition", "Value", "Share"])
+    try:
+        for road, share in sorted(
+                road_type_breakdown(db).shares.items(),
+                key=lambda kv: -kv[1]):
+            table.add_row("road type", road, round(share, 3))
+    except InsufficientDataError:
+        pass
+    try:
+        for weather, share in sorted(
+                weather_breakdown(db).shares.items(),
+                key=lambda kv: -kv[1]):
+            table.add_row("weather", weather, round(share, 3))
+    except InsufficientDataError:
+        pass
+    try:
+        hours = time_of_day_breakdown(db)
+        total = sum(hours.values())
+        bands = {"00-05": range(0, 6), "06-11": range(6, 12),
+                 "12-17": range(12, 18), "18-23": range(18, 24)}
+        for band, hour_range in bands.items():
+            share = sum(hours.get(h, 0) for h in hour_range) / total
+            table.add_row("hour of day", band, round(share, 3))
+    except InsufficientDataError:
+        pass
+    return table
+
+
+def fault_injection_table(db: FailureDatabase,
+                          injections: int = 300) -> Table:
+    """Fault-injection hazard ranking next to the observed overlay."""
+    campaign = FaultInjector().run_campaign(
+        injections_per_component=injections, seed=2018)
+    overlay = overlay_failures(db.disengagements)
+    localized = max(overlay.total - overlay.unlocalized, 1)
+    table = Table(
+        title="Extension: fault injection vs observed failure overlay",
+        columns=["Component", "Hazard rate", "Detection rate",
+                 "Observed share"])
+    for origin, rate in campaign.hazard_ranking():
+        table.add_row(
+            origin, round(rate, 3),
+            round(campaign.detection_rate(origin), 3),
+            round(overlay.by_component.get(origin, 0) / localized, 3))
+    return table
+
+
+def year_over_year_table(db: FailureDatabase) -> Table:
+    """Per-manufacturer deltas between the two reporting periods."""
+    from ..analysis.compare import diff_databases, split_by_period
+
+    first, second = split_by_period(db)
+    diffs = diff_databases(first, second)
+    table = Table(
+        title="Extension: year-over-year change "
+              "(2015-2016 report -> 2016-2017 report)",
+        columns=["Manufacturer", "Miles delta", "DPM before",
+                 "DPM after", "DPM direction", "Improving"])
+    for name, diff in sorted(diffs.items()):
+        miles = diff.delta("miles")
+        dpm = diff.delta("dpm")
+        if miles.before is None and miles.after is None:
+            continue
+        table.add_row(
+            name,
+            round(miles.absolute, 1) if miles.absolute is not None
+            else None,
+            round(dpm.before, 5) if dpm.before is not None else None,
+            round(dpm.after, 5) if dpm.after is not None else None,
+            dpm.direction,
+            diff.improving)
+    return table
+
+
+def simulator_table(db: FailureDatabase, trips: int = 20000) -> Table:
+    """Simulator validation rows for manufacturers with reaction
+    data and accidents."""
+    from ..simulator import calibrate_from_database, simulate_fleet
+
+    table = Table(
+        title="Extension: trip-simulator validation",
+        columns=["Manufacturer", "Field DPM", "Simulated DPM",
+                 "Field DPA", "Simulated DPA"])
+    for name in ("Delphi", "Nissan", "Waymo"):
+        try:
+            config = calibrate_from_database(db, name)
+        except InsufficientDataError:
+            continue
+        fleet = simulate_fleet(config, trips=trips, seed=2018)
+        records = db.disengagements_by_manufacturer().get(name, [])
+        accidents = len(db.accidents_by_manufacturer().get(name, []))
+        field_dpa = (len(records) / accidents) if accidents else None
+        table.add_row(
+            name,
+            round(config.dpm, 6),
+            round(fleet.dpm, 6),
+            round(field_dpa, 1) if field_dpa else None,
+            round(fleet.dpa, 1) if fleet.dpa else None)
+    return table

@@ -1,0 +1,171 @@
+"""Full study report: every exhibit plus headline claims, as Markdown.
+
+``render_study_report(db)`` produces the whole Section V narrative
+from a failure database — the artifact a downstream user would attach
+to their own DMV filing analysis.
+"""
+
+from __future__ import annotations
+
+from ..analysis.alertness import (
+    alertness_summary,
+    overall_mean_reaction_time,
+)
+from ..analysis.apm import (
+    collision_speed_distributions,
+    disengagements_per_accident_overall,
+    miles_per_disengagement,
+)
+from ..analysis.categories import automatic_share, overall_category_shares
+from ..analysis.dpm import manufacturer_dpm_summary
+from ..analysis.maturity import all_assessments, pooled_dpm_correlation
+from ..analysis.missions import mission_comparison
+from ..pipeline.store import FailureDatabase
+from . import figures_paper, tables_paper
+from .ascii_charts import bar_chart, box_panel, scatter
+from .tables_paper import ANALYSIS_ORDER
+
+
+def render_study_report(db: FailureDatabase,
+                        include_charts: bool = True) -> str:
+    """Render the full study as Markdown."""
+    names = [n for n in ANALYSIS_ORDER if n in db.manufacturers()]
+    out: list[str] = []
+    w = out.append
+
+    w("# AV Failure Study Report")
+    w("")
+    w(f"Database: {len(db.disengagements):,} disengagements, "
+      f"{len(db.accidents)} accidents, "
+      f"{db.total_miles:,.0f} autonomous miles across "
+      f"{len(db.manufacturers())} manufacturers.")
+    w("")
+
+    w("## Headlines")
+    w("")
+    shares = overall_category_shares(db)
+    if shares:
+        w(f"- **{shares['ml_design']:.0%} of disengagements** trace to "
+          "the machine-learning system "
+          f"({shares['perception']:.0%} perception, "
+          f"{shares['planner']:.0%} planning/control); "
+          f"{shares['system']:.0%} to the computing system.")
+    try:
+        correlation = pooled_dpm_correlation(db, names)
+        w(f"- DPM falls with cumulative miles: pooled Pearson "
+          f"r = {correlation.r:.2f} (p = {correlation.p_value:.1e}).")
+    except Exception:
+        pass
+    try:
+        w(f"- Mean driver reaction time "
+          f"{overall_mean_reaction_time(db):.2f} s — drivers must stay "
+          "as alert as in conventional vehicles.")
+    except Exception:
+        pass
+    try:
+        w(f"- One accident per "
+          f"{disengagements_per_accident_overall(db):.0f} "
+          "disengagements; "
+          f"{miles_per_disengagement(db):.0f} miles per disengagement "
+          "on average.")
+    except Exception:
+        pass
+    w(f"- {automatic_share(db):.0%} of disengagements (average across "
+      "manufacturers) are machine-initiated.")
+    w("")
+
+    w("## Disengagements per mile")
+    w("")
+    summaries = manufacturer_dpm_summary(db, names)
+    if include_charts and summaries:
+        w("```")
+        w(box_panel({name: s.box for name, s in summaries.items()},
+                    log=True))
+        w("```")
+        w("")
+    w("| manufacturer | unit | median DPM | aggregate DPM |")
+    w("|---|---|---|---|")
+    for name, summary in summaries.items():
+        w(f"| {name} | {summary.unit} | {summary.median_dpm:.3e} | "
+          f"{summary.aggregate_dpm:.3e} |")
+    w("")
+
+    w("## Burn-in (maturity)")
+    w("")
+    w("| manufacturer | DPM trend slope | improving | mature |")
+    w("|---|---|---|---|")
+    for name, assessment in all_assessments(db, names).items():
+        slope = (f"{assessment.dpm_fit.slope:+.3f}"
+                 if assessment.dpm_fit else "-")
+        w(f"| {name} | {slope} | {assessment.improving} | "
+          f"{assessment.mature} |")
+    w("")
+    if include_charts:
+        points_x, points_y = [], []
+        for name in names:
+            from ..analysis.dpm import monthly_series
+            for point in monthly_series(db, name):
+                if point.miles > 0 and point.dpm > 0:
+                    points_x.append(point.cumulative_miles)
+                    points_y.append(point.dpm)
+        if len(points_x) >= 2:
+            w("log(DPM) vs log(cumulative miles):")
+            w("")
+            w("```")
+            w(scatter(points_x, points_y, loglog=True))
+            w("```")
+            w("")
+
+    w("## Accidents")
+    w("")
+    w("```")
+    w(tables_paper.table6(db).render())
+    w("```")
+    w("")
+    try:
+        speeds = collision_speed_distributions(db)
+        w(f"{speeds.fraction_relative_below(10.0):.0%} of accidents "
+          "occurred below 10 mph relative speed (exponential scales: "
+          f"AV {speeds.av_fit.scale:.1f} mph, other vehicle "
+          f"{speeds.other_fit.scale:.1f} mph).")
+        w("")
+    except Exception:
+        pass
+
+    missions = mission_comparison(db, names)
+    if missions:
+        w("## Per-mission comparison")
+        w("")
+        if include_charts:
+            w("```")
+            w(bar_chart({name: m.vs_airline
+                         for name, m in missions.items()},
+                        value_format="{:.1f}x airline"))
+            w("```")
+            w("")
+
+    alertness = alertness_summary(db)
+    if alertness:
+        w("## Driver alertness")
+        w("")
+        w("| manufacturer | median RT (s) | trimmed mean (s) | "
+          "outliers |")
+        w("|---|---|---|---|")
+        for name, summary in alertness.items():
+            w(f"| {name} | {summary.box.median:.2f} | "
+              f"{summary.trimmed_mean:.2f} | {summary.outliers} |")
+        w("")
+
+    w("## Exhibits")
+    w("")
+    for experiment_id, generator in (
+            ("Table VII", tables_paper.table7),
+            ("Figure 8", figures_paper.figure8)):
+        try:
+            w("```")
+            w(generator(db).render())
+            w("```")
+            w("")
+        except Exception:
+            continue
+    return "\n".join(out)

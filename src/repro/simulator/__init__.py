@@ -1,0 +1,32 @@
+"""Trip-level micro-simulation of Level-3 AV operation.
+
+The paper's data gives marginal rates (DPM, APM, DPA) and a causal
+narrative (disengagement -> small action window -> sometimes an
+accident; plus rear-end collisions from other drivers misreading the
+AV).  This package closes the loop with a generative model: simulate
+trips with a per-mile disengagement hazard, a driver model (reaction
+times, proactive takeovers), and a traffic-conflict model (time
+budgets, other-driver anticipation failures), then measure the same
+DPM/APM/DPA statistics from the simulated fleet and compare them
+against the field data.
+
+The simulator is the instrument for the counterfactuals the paper can
+only argue verbally: what happens to APM if drivers get less alert, if
+the ADS gets faster at raising takeover requests, or if other drivers
+learn to anticipate AV behavior.
+"""
+
+from .config import DriverConfig, SimulatorConfig, TrafficConfig
+from .engine import FleetResult, TripResult, simulate_fleet, simulate_trip
+from .calibrate import calibrate_from_database
+
+__all__ = [
+    "DriverConfig",
+    "SimulatorConfig",
+    "TrafficConfig",
+    "FleetResult",
+    "TripResult",
+    "simulate_fleet",
+    "simulate_trip",
+    "calibrate_from_database",
+]

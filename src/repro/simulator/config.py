@@ -1,0 +1,82 @@
+"""Simulator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """Safety-driver model parameters."""
+
+    #: Exponentiated-Weibull reaction-time parameters (seconds).
+    reaction_a: float = 1.4
+    reaction_c: float = 1.6
+    reaction_scale: float = 0.55
+    #: Multiplier on sampled reaction times (1.0 = calibrated
+    #: alertness; >1 models a less attentive driver).
+    alertness_factor: float = 1.0
+    #: Share of disengagements the driver initiates proactively
+    #: *before* the system detects trouble (Table V manual share).
+    proactive_share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if min(self.reaction_a, self.reaction_c,
+               self.reaction_scale) <= 0:
+            raise AnalysisError("reaction parameters must be positive")
+        if self.alertness_factor <= 0:
+            raise AnalysisError("alertness factor must be positive")
+        if not 0.0 <= self.proactive_share <= 1.0:
+            raise AnalysisError("proactive share outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Traffic-environment model parameters."""
+
+    #: P(a conflicting road user is present when a disengagement
+    #: happens) — intersections, merges, followers.
+    conflict_probability: float = 0.15
+    #: Mean of the exponential time budget the conflict allows (s).
+    mean_time_budget_s: float = 2.5
+    #: Mean ADS fault-detection latency before the takeover request
+    #: (s); proactive driver takeovers skip this.
+    mean_detection_latency_s: float = 0.5
+    #: Per-mile rate of *other-driver* collisions with a normally
+    #: operating AV (Case Study II: anticipation failures).  These
+    #: accidents need no preceding disengagement.
+    anticipation_accident_rate_per_mile: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.conflict_probability <= 1.0:
+            raise AnalysisError("conflict probability outside [0, 1]")
+        if self.mean_time_budget_s <= 0:
+            raise AnalysisError("time budget must be positive")
+        if self.mean_detection_latency_s < 0:
+            raise AnalysisError("detection latency must be >= 0")
+        if self.anticipation_accident_rate_per_mile < 0:
+            raise AnalysisError("anticipation rate must be >= 0")
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Full configuration of one simulated fleet."""
+
+    #: Per-mile disengagement hazard (the field DPM).
+    dpm: float = 0.001
+    #: Median trip length (miles); trips are lognormal around it.
+    median_trip_miles: float = 10.0
+    #: Lognormal sigma of trip lengths.
+    trip_sigma: float = 0.8
+    driver: DriverConfig = field(default_factory=DriverConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+
+    def __post_init__(self) -> None:
+        if self.dpm < 0:
+            raise AnalysisError("dpm must be >= 0")
+        if self.median_trip_miles <= 0:
+            raise AnalysisError("median trip length must be positive")
+        if self.trip_sigma < 0:
+            raise AnalysisError("trip sigma must be >= 0")

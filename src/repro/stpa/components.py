@@ -1,0 +1,78 @@
+"""Components of the AV hierarchical control structure (Fig. 3)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ComponentKind(enum.Enum):
+    """Role of a component in the control hierarchy."""
+
+    HUMAN = "human"
+    CONTROLLER = "controller"
+    SENSOR = "sensor"
+    ACTUATOR = "actuator"
+    PROCESS = "controlled process"
+    SUBSTRATE = "computing substrate"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Component:
+    """One box of the Fig. 3 control structure."""
+
+    name: str
+    kind: ComponentKind
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: The components of Fig. 3.  Names are stable identifiers used as
+#: graph nodes and in causal-factor mappings.
+STANDARD_COMPONENTS: dict[str, Component] = {
+    c.name: c for c in [
+        Component(
+            "driver", ComponentKind.HUMAN,
+            "The AV safety driver: the fall-back controller that takes "
+            "over at a disengagement."),
+        Component(
+            "non_av_driver", ComponentKind.HUMAN,
+            "Drivers of surrounding conventional vehicles, observed by "
+            "the sensors and signaled via brake lights/indicators."),
+        Component(
+            "sensors", ComponentKind.SENSOR,
+            "GPS, RADAR, LIDAR, cameras, SONAR: collect environment "
+            "data."),
+        Component(
+            "recognition", ComponentKind.CONTROLLER,
+            "Perception system: identifies objects and environment "
+            "changes from sensor data."),
+        Component(
+            "planner_controller", ComponentKind.CONTROLLER,
+            "Plans the next motion from vehicle and environment state; "
+            "issues control actions."),
+        Component(
+            "follower", ComponentKind.CONTROLLER,
+            "Signals the actuators to track the planned path."),
+        Component(
+            "actuators", ComponentKind.ACTUATOR,
+            "Steering, throttle, and brake actuation."),
+        Component(
+            "mechanical", ComponentKind.PROCESS,
+            "Mechanical components of the vehicle: the controlled "
+            "process."),
+        Component(
+            "compute", ComponentKind.SUBSTRATE,
+            "Onboard computing platform (hardware and software) that "
+            "hosts the autonomy stack."),
+        Component(
+            "network", ComponentKind.SUBSTRATE,
+            "In-vehicle network carrying sensor and actuation "
+            "traffic."),
+    ]
+}

@@ -1,0 +1,46 @@
+"""The control loops highlighted in Fig. 3 (CL-1, CL-2, CL-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControlLoop:
+    """One highlighted control loop of the Fig. 3 structure."""
+
+    name: str
+    description: str
+    #: Ordered node names; the loop closes from last back to first.
+    nodes: tuple[str, ...]
+
+
+#: CL-1 is the most complex loop: autonomous control, the mechanical
+#: system, and surrounding human drivers.  CL-2 is the safety-driver
+#: loop.  CL-3 is the inner autonomy loop (plan -> act -> sense).
+CONTROL_LOOPS: dict[str, ControlLoop] = {
+    "CL-1": ControlLoop(
+        name="CL-1",
+        description=(
+            "Interaction among autonomous control, the mechanical "
+            "system, and non-AV drivers: the loop implicated in both "
+            "case-study accidents."),
+        nodes=("sensors", "recognition", "planner_controller",
+               "follower", "actuators", "mechanical", "non_av_driver"),
+    ),
+    "CL-2": ControlLoop(
+        name="CL-2",
+        description=(
+            "The safety-driver fall-back loop: the driver monitors the "
+            "vehicle and takes control at a disengagement."),
+        nodes=("driver", "mechanical"),
+    ),
+    "CL-3": ControlLoop(
+        name="CL-3",
+        description=(
+            "The inner autonomy loop: plan, actuate, and sense the "
+            "vehicle's own state."),
+        nodes=("sensors", "recognition", "planner_controller",
+               "follower", "actuators", "mechanical"),
+    ),
+}

@@ -1,0 +1,170 @@
+"""Stochastic fault injection over the control structure.
+
+The paper's conclusion calls for assessing the ML systems "under fault
+conditions via stochastic modeling and fault injection to augment data
+collection".  This module provides that instrument: inject faults at a
+component of the Fig. 3 structure, propagate them along the control and
+feedback edges with per-edge-kind probabilities, model detection (which
+raises a takeover request to the safety driver) and driver mitigation
+(success depends on the action window), and measure how often a fault
+becomes a hazard at the controlled process.
+
+The campaign's observable — which components' faults most often become
+hazards — is directly comparable to the disengagement overlay of
+:mod:`repro.stpa.mapping`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import StpaError
+from ..rng import generator
+from .structure import ControlStructure, EdgeKind, build_control_structure
+
+#: Probability a fault crosses an edge, by edge kind.  Control and
+#: hosting paths propagate aggressively; feedback errors are partially
+#: absorbed by downstream sanity checks; observation edges model other
+#: road users misreading the AV (Case Study II).
+DEFAULT_PROPAGATION: dict[EdgeKind, float] = {
+    EdgeKind.CONTROL: 0.9,
+    EdgeKind.FEEDBACK: 0.6,
+    EdgeKind.HOSTING: 0.8,
+    EdgeKind.OBSERVATION: 0.3,
+}
+
+#: Per-component probability that an arriving fault is detected there
+#: (raising a takeover request).  Watchdogged substrates detect well;
+#: ML components detect their own errors poorly — the paper's central
+#: observation.
+DEFAULT_DETECTION: dict[str, float] = {
+    "sensors": 0.5,
+    "recognition": 0.2,
+    "planner_controller": 0.25,
+    "follower": 0.6,
+    "actuators": 0.7,
+    "compute": 0.8,
+    "network": 0.7,
+    "mechanical": 0.1,
+    "driver": 0.0,
+    "non_av_driver": 0.0,
+}
+
+#: The component whose compromise constitutes a hazard.
+HAZARD_COMPONENT = "mechanical"
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """Result of one injected fault."""
+
+    origin: str
+    reached: frozenset[str]
+    detected_at: str | None
+    mitigated: bool
+
+    @property
+    def hazardous(self) -> bool:
+        """Whether the fault reached the controlled process
+        unmitigated."""
+        return HAZARD_COMPONENT in self.reached and not self.mitigated
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated fault-injection campaign results."""
+
+    injections_per_component: int
+    outcomes: list[InjectionOutcome] = field(default_factory=list)
+
+    def hazard_rate(self, origin: str) -> float:
+        """P(hazard | fault injected at ``origin``)."""
+        relevant = [o for o in self.outcomes if o.origin == origin]
+        if not relevant:
+            return 0.0
+        return sum(o.hazardous for o in relevant) / len(relevant)
+
+    def detection_rate(self, origin: str) -> float:
+        """P(detected somewhere | fault injected at ``origin``)."""
+        relevant = [o for o in self.outcomes if o.origin == origin]
+        if not relevant:
+            return 0.0
+        return sum(o.detected_at is not None
+                   for o in relevant) / len(relevant)
+
+    def hazard_ranking(self) -> list[tuple[str, float]]:
+        """Components ranked by hazard rate, worst first."""
+        origins = {o.origin for o in self.outcomes}
+        ranked = [(origin, self.hazard_rate(origin))
+                  for origin in origins]
+        return sorted(ranked, key=lambda item: -item[1])
+
+    def detection_sites(self) -> Counter:
+        """Where faults get detected (component -> count)."""
+        return Counter(o.detected_at for o in self.outcomes
+                       if o.detected_at is not None)
+
+
+class FaultInjector:
+    """Monte-Carlo fault injection over a control structure."""
+
+    def __init__(self, structure: ControlStructure | None = None,
+                 propagation: dict[EdgeKind, float] | None = None,
+                 detection: dict[str, float] | None = None,
+                 driver_mitigation: float = 0.85) -> None:
+        self.structure = structure or build_control_structure()
+        self.propagation = propagation or dict(DEFAULT_PROPAGATION)
+        self.detection = detection or dict(DEFAULT_DETECTION)
+        if not 0.0 <= driver_mitigation <= 1.0:
+            raise StpaError(
+                f"driver mitigation {driver_mitigation} outside [0, 1]")
+        #: P(driver takes over successfully | fault detected) — the
+        #: action-window success probability of Sec. V-A4.
+        self.driver_mitigation = driver_mitigation
+
+    def inject(self, origin: str,
+               rng: np.random.Generator) -> InjectionOutcome:
+        """Inject one fault at ``origin`` and propagate it."""
+        graph = self.structure.graph
+        if origin not in graph:
+            raise StpaError(f"unknown component {origin!r}")
+        reached = {origin}
+        frontier = [origin]
+        detected_at: str | None = None
+        while frontier:
+            node = frontier.pop()
+            if detected_at is None \
+                    and rng.random() < self.detection.get(node, 0.0):
+                detected_at = node
+            for _, successor, data in graph.out_edges(node, data=True):
+                if successor in reached:
+                    continue
+                if rng.random() < self.propagation[data["kind"]]:
+                    reached.add(successor)
+                    frontier.append(successor)
+        mitigated = (detected_at is not None
+                     and rng.random() < self.driver_mitigation)
+        return InjectionOutcome(
+            origin=origin, reached=frozenset(reached),
+            detected_at=detected_at, mitigated=mitigated)
+
+    def run_campaign(self, injections_per_component: int = 1000,
+                     origins: list[str] | None = None,
+                     seed: int | None = None) -> CampaignResult:
+        """Inject ``injections_per_component`` faults at each origin."""
+        if injections_per_component <= 0:
+            raise StpaError("injections_per_component must be positive")
+        rng = generator(seed)
+        if origins is None:
+            origins = [name for name in self.structure.graph.nodes
+                       if name not in ("driver", "non_av_driver",
+                                       HAZARD_COMPONENT)]
+        result = CampaignResult(
+            injections_per_component=injections_per_component)
+        for origin in origins:
+            for _ in range(injections_per_component):
+                result.outcomes.append(self.inject(origin, rng))
+        return result

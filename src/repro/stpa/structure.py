@@ -1,0 +1,122 @@
+"""The hierarchical control structure as a typed directed graph."""
+
+from __future__ import annotations
+
+import enum
+
+import networkx as nx
+
+from ..errors import StpaError
+from .components import STANDARD_COMPONENTS, Component
+
+
+class EdgeKind(enum.Enum):
+    """Kind of interaction an edge models."""
+
+    CONTROL = "control action"
+    FEEDBACK = "feedback"
+    OBSERVATION = "observation"
+    HOSTING = "hosting"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Edges of Fig. 3: (source, target, kind, label).
+_EDGES: tuple[tuple[str, str, EdgeKind, str], ...] = (
+    # The autonomy pipeline (CL-1 forward path).
+    ("sensors", "recognition", EdgeKind.FEEDBACK,
+     "environment measurements"),
+    ("recognition", "planner_controller", EdgeKind.FEEDBACK,
+     "object/scene state"),
+    ("planner_controller", "follower", EdgeKind.CONTROL,
+     "planned trajectory"),
+    ("follower", "actuators", EdgeKind.CONTROL, "actuation commands"),
+    ("actuators", "mechanical", EdgeKind.CONTROL, "physical actuation"),
+    ("mechanical", "sensors", EdgeKind.FEEDBACK, "vehicle state"),
+    # Safety-driver loop (CL-2).
+    ("driver", "mechanical", EdgeKind.CONTROL,
+     "manual steering/braking"),
+    ("mechanical", "driver", EdgeKind.FEEDBACK, "vehicle behavior"),
+    ("planner_controller", "driver", EdgeKind.FEEDBACK,
+     "takeover request / disengagement alert"),
+    ("driver", "planner_controller", EdgeKind.CONTROL,
+     "engage/disengage autonomy"),
+    # Interaction with other road users (CL-3).
+    ("non_av_driver", "sensors", EdgeKind.OBSERVATION,
+     "observed non-AV behavior"),
+    ("mechanical", "non_av_driver", EdgeKind.OBSERVATION,
+     "brake signals, indicators, motion cues"),
+    # Substrate hosting.
+    ("compute", "recognition", EdgeKind.HOSTING, "hosts perception"),
+    ("compute", "planner_controller", EdgeKind.HOSTING, "hosts planner"),
+    ("compute", "follower", EdgeKind.HOSTING, "hosts follower"),
+    ("network", "compute", EdgeKind.HOSTING, "sensor/actuation traffic"),
+    ("sensors", "network", EdgeKind.FEEDBACK, "raw sensor streams"),
+)
+
+
+class ControlStructure:
+    """Typed wrapper over the Fig. 3 graph."""
+
+    def __init__(self, graph: nx.DiGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (nodes carry ``component``)."""
+        return self._graph
+
+    def component(self, name: str) -> Component:
+        """Look up a component by node name."""
+        try:
+            return self._graph.nodes[name]["component"]
+        except KeyError:
+            raise StpaError(f"unknown component {name!r}") from None
+
+    def components(self) -> list[Component]:
+        """All components."""
+        return [data["component"]
+                for _, data in self._graph.nodes(data=True)]
+
+    def edges_of_kind(self, kind: EdgeKind) -> list[tuple[str, str, str]]:
+        """All (source, target, label) edges of the given kind."""
+        return [(u, v, data["label"])
+                for u, v, data in self._graph.edges(data=True)
+                if data["kind"] is kind]
+
+    def controllers_of(self, name: str) -> list[str]:
+        """Components issuing control actions to ``name``."""
+        return [u for u, v, data in self._graph.in_edges(name, data=True)
+                if data["kind"] is EdgeKind.CONTROL]
+
+    def feedback_sources(self, name: str) -> list[str]:
+        """Components providing feedback to ``name``."""
+        return [u for u, v, data in self._graph.in_edges(name, data=True)
+                if data["kind"] is EdgeKind.FEEDBACK]
+
+    def loop_exists(self, nodes: list[str]) -> bool:
+        """Whether the node sequence closes a cycle in the structure."""
+        cycle = list(nodes) + [nodes[0]]
+        return all(self._graph.has_edge(u, v)
+                   for u, v in zip(cycle, cycle[1:]))
+
+    def validate(self) -> None:
+        """Structural sanity checks (every node typed, no orphans)."""
+        for node, data in self._graph.nodes(data=True):
+            if "component" not in data:
+                raise StpaError(f"node {node} lacks component metadata")
+            if self._graph.degree(node) == 0:
+                raise StpaError(f"component {node} is disconnected")
+
+
+def build_control_structure() -> ControlStructure:
+    """Construct the Fig. 3 control structure."""
+    graph = nx.DiGraph()
+    for name, component in STANDARD_COMPONENTS.items():
+        graph.add_node(name, component=component)
+    for source, target, kind, label in _EDGES:
+        graph.add_edge(source, target, kind=kind, label=label)
+    structure = ControlStructure(graph)
+    structure.validate()
+    return structure

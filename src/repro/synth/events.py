@@ -1,0 +1,182 @@
+"""Disengagement event synthesis.
+
+For each manufacturer and reporting period, allocates the exact Table I
+disengagement total across months with weights following the calibrated
+DPM-vs-cumulative-miles trend, assigns each event to a vehicle in
+proportion to that vehicle's monthly mileage, and populates every
+canonical field: date/time, modality, ground-truth fault tag, cause
+narrative, road type, weather, and driver reaction time.
+"""
+
+from __future__ import annotations
+
+import calendar
+from datetime import date
+
+import numpy as np
+from scipy import stats as sstats
+
+from ..calibration.fault_model import fault_mixture
+from ..calibration.manufacturers import MANUFACTURERS, ReportPeriod
+from ..calibration.modality import modality_mixture
+from ..calibration.reaction_times import reaction_time_model
+from ..calibration.roads import (
+    ROAD_TYPE_SHARES,
+    WEATHER_CONDITIONS,
+    WEATHER_WEIGHTS,
+)
+from ..calibration.trends import dpm_trend
+from ..parsing.records import DisengagementRecord
+from ..taxonomy import FaultTag, Modality
+from .mileage import MonthlyPlan, _period_months
+from .narratives import NarrativeGenerator
+
+
+def _month_event_counts(total: int, months: list[str],
+                        miles_by_month: dict[str, float],
+                        cumulative: dict[str, float], slope: float,
+                        sigma: float,
+                        rng: np.random.Generator) -> dict[str, int]:
+    """Multinomially allocate ``total`` events across ``months``.
+
+    Weights are ``miles * cumulative_miles**slope`` with lognormal
+    noise, so the realized monthly DPM follows the calibrated power-law
+    trend while the period total matches Table I exactly.
+    """
+    active = [m for m in months if miles_by_month.get(m, 0.0) > 0]
+    if not active or total <= 0:
+        return {}
+    weights = np.array([
+        miles_by_month[m] * max(cumulative[m], 1.0) ** slope
+        * rng.lognormal(0.0, sigma)
+        for m in active])
+    weights = weights / weights.sum()
+    counts = rng.multinomial(total, weights)
+    return {m: int(c) for m, c in zip(active, counts) if c > 0}
+
+
+def _sample_day(month: str, rng: np.random.Generator) -> date:
+    """Random day within a ``YYYY-MM`` month."""
+    year, mon = int(month[:4]), int(month[5:7])
+    last = calendar.monthrange(year, mon)[1]
+    return date(year, mon, int(rng.integers(1, last + 1)))
+
+
+def _sample_time(rng: np.random.Generator) -> tuple[int, int, int]:
+    """Random daytime-biased wall-clock time (testing is mostly diurnal)."""
+    hour = int(np.clip(rng.normal(13.0, 3.5), 0, 23))
+    return hour, int(rng.integers(0, 60)), int(rng.integers(0, 60))
+
+
+def _sample_reaction_time(manufacturer: str, cumulative_miles: float,
+                          rng: np.random.Generator) -> float | None:
+    """Draw a reaction time (seconds) if the manufacturer reports them."""
+    model = reaction_time_model(manufacturer)
+    if model is None:
+        return None
+    value = float(sstats.exponweib.rvs(
+        model.a, model.c, scale=model.scale, random_state=rng))
+    if model.drift_per_log_mile:
+        log_miles = np.log10(max(cumulative_miles, 1.0))
+        value += model.drift_per_log_mile * (
+            log_miles - model.drift_reference_log_miles)
+    return max(round(value, 2), 0.01)
+
+
+def synthesize_disengagements(manufacturer_name: str, plan: MonthlyPlan,
+                              rng: np.random.Generator,
+                              ) -> list[DisengagementRecord]:
+    """Synthesize all disengagement records for one manufacturer."""
+    manufacturer = MANUFACTURERS[manufacturer_name]
+    trend = dpm_trend(manufacturer_name)
+    faults = fault_mixture(manufacturer_name)
+    modalities = modality_mixture(manufacturer_name)
+    narrator = NarrativeGenerator(rng)
+
+    fault_tags = list(faults.weights)
+    fault_probs = np.array([faults.weights[t] for t in fault_tags])
+    modality_values = list(modalities.weights)
+    modality_probs = np.array(
+        [modalities.weights[m] for m in modality_values])
+
+    road_types = list(ROAD_TYPE_SHARES)
+    road_probs = np.array([ROAD_TYPE_SHARES[r] for r in road_types])
+
+    miles_by_month = plan.miles_by_month()
+    cumulative = plan.cumulative_miles()
+
+    records: list[DisengagementRecord] = []
+    for period in ReportPeriod:
+        stats = manufacturer.stats(period)
+        total = stats.disengagements or 0
+        if total <= 0:
+            continue
+        months = _period_months(period)
+        counts = _month_event_counts(
+            total, months, miles_by_month, cumulative,
+            trend.slope, trend.sigma, rng)
+        for month, count in counts.items():
+            vehicles = [c for c in plan.cells if c.month == month]
+            vehicle_ids = [c.vehicle_id for c in vehicles]
+            vehicle_probs = np.array([c.miles for c in vehicles])
+            vehicle_probs = vehicle_probs / vehicle_probs.sum()
+            for _ in range(count):
+                tag = fault_tags[
+                    int(rng.choice(len(fault_tags), p=fault_probs))]
+                modality = modality_values[
+                    int(rng.choice(len(modality_values), p=modality_probs))]
+                vehicle_id = vehicle_ids[
+                    int(rng.choice(len(vehicle_ids), p=vehicle_probs))]
+                event_date = _sample_day(month, rng)
+                record = DisengagementRecord(
+                    manufacturer=manufacturer_name,
+                    month=month,
+                    event_date=(
+                        event_date if manufacturer.day_granularity else None),
+                    time_of_day=(
+                        _sample_time(rng)
+                        if manufacturer.day_granularity else None),
+                    vehicle_id=vehicle_id,
+                    modality=modality,
+                    road_type=(
+                        str(road_types[int(rng.choice(
+                            len(road_types), p=road_probs))])
+                        if manufacturer.reports_conditions else None),
+                    weather=(
+                        str(rng.choice(
+                            list(WEATHER_CONDITIONS), p=WEATHER_WEIGHTS))
+                        if manufacturer.reports_conditions else None),
+                    reaction_time_s=_sample_reaction_time(
+                        manufacturer_name, cumulative[month], rng),
+                    description=narrator.narrative(tag, modality),
+                    truth_tag=tag,
+                )
+                records.append(record)
+
+    _inject_reaction_outlier(manufacturer_name, records)
+    records.sort(key=lambda r: (r.month, r.event_date or date(
+        int(r.month[:4]), int(r.month[5:7]), 1)))
+    return records
+
+
+def _inject_reaction_outlier(manufacturer_name: str,
+                             records: list[DisengagementRecord]) -> None:
+    """Inject the calibrated extreme reaction time (VW's ~4 h report)."""
+    model = reaction_time_model(manufacturer_name)
+    if model is None or model.outlier_seconds is None or not records:
+        return
+    carrier = max(records, key=lambda r: r.reaction_time_s or 0.0)
+    carrier.reaction_time_s = model.outlier_seconds
+
+
+def planned_only(manufacturer_name: str) -> bool:
+    """Whether all of a manufacturer's disengagements are planned tests."""
+    return modality_mixture(manufacturer_name).all_planned
+
+
+__all__ = [
+    "synthesize_disengagements",
+    "planned_only",
+    "FaultTag",
+    "Modality",
+]

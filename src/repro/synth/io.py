@@ -1,0 +1,110 @@
+"""Corpus disk I/O: write a raw corpus to a directory tree, read it
+back.
+
+The on-disk layout mirrors how the real DMV releases arrive — one text
+file per report document — plus a JSON manifest carrying document
+metadata and the out-of-band ground truth (in a separate file, so the
+document text alone is exactly what a real pipeline would see)::
+
+    corpus/
+      manifest.json
+      truth.json
+      documents/
+        Waymo-2015-2016-disengagements.txt
+        Waymo-accident-000.txt
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import SynthesisError
+from ..parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+from .dataset import SyntheticCorpus
+from .reports import RawDocument
+
+MANIFEST_NAME = "manifest.json"
+TRUTH_NAME = "truth.json"
+DOCUMENTS_DIR = "documents"
+
+
+def write_corpus(corpus: SyntheticCorpus, directory: str | Path) -> Path:
+    """Write ``corpus`` under ``directory`` (created if missing)."""
+    root = Path(directory)
+    documents_dir = root / DOCUMENTS_DIR
+    documents_dir.mkdir(parents=True, exist_ok=True)
+
+    manifest = {"seed": corpus.seed, "documents": []}
+    truth: dict[str, dict] = {}
+    for document in corpus.documents:
+        file_name = f"{document.document_id}.txt"
+        (documents_dir / file_name).write_text(
+            document.text + "\n", encoding="utf-8")
+        manifest["documents"].append({
+            "document_id": document.document_id,
+            "manufacturer": document.manufacturer,
+            "kind": document.kind,
+            "file": file_name,
+        })
+        truth[document.document_id] = {
+            "disengagements": [r.to_dict()
+                               for r in document.truth_disengagements],
+            "mileage": [m.to_dict() for m in document.truth_mileage],
+            "accidents": [a.to_dict()
+                          for a in document.truth_accidents],
+        }
+    (root / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8")
+    (root / TRUTH_NAME).write_text(json.dumps(truth), encoding="utf-8")
+    return root
+
+
+def read_corpus(directory: str | Path,
+                with_truth: bool = True) -> SyntheticCorpus:
+    """Read a corpus previously written with :func:`write_corpus`.
+
+    ``with_truth=False`` drops the ground-truth sidecar — the corpus
+    then looks exactly like a real (labelless) DMV release.
+    """
+    root = Path(directory)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise SynthesisError(f"no {MANIFEST_NAME} under {root}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+
+    truth: dict[str, dict] = {}
+    truth_path = root / TRUTH_NAME
+    if with_truth and truth_path.exists():
+        truth = json.loads(truth_path.read_text(encoding="utf-8"))
+
+    corpus = SyntheticCorpus(seed=int(manifest.get("seed", 0)))
+    for entry in manifest["documents"]:
+        text = (root / DOCUMENTS_DIR / entry["file"]).read_text(
+            encoding="utf-8")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        document = RawDocument(
+            document_id=entry["document_id"],
+            manufacturer=entry["manufacturer"],
+            kind=entry["kind"],
+            lines=lines,
+        )
+        sidecar = truth.get(entry["document_id"], {})
+        document.truth_disengagements = [
+            DisengagementRecord.from_dict(d)
+            for d in sidecar.get("disengagements", [])]
+        document.truth_mileage = [
+            MonthlyMileage.from_dict(m)
+            for m in sidecar.get("mileage", [])]
+        document.truth_accidents = [
+            AccidentRecord.from_dict(a)
+            for a in sidecar.get("accidents", [])]
+        corpus.documents.append(document)
+    return corpus

@@ -1,0 +1,339 @@
+"""Rendering canonical records into raw per-manufacturer report text.
+
+The real DMV corpus is a patchwork: every manufacturer invented its own
+schema, separator style, date format, and level of detail (Table II).
+This module reproduces that heterogeneity: one renderer per
+manufacturer, each emitting a multi-section text document (header,
+monthly mileage section, disengagement table).  The parsing package
+mirrors these formats; the OCR substrate sits in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from ..calibration.manufacturers import PERIODS, ReportPeriod
+from ..errors import SynthesisError
+from ..parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+from ..taxonomy import Modality
+
+_MONTH_ABBR = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+
+
+@dataclass
+class RawDocument:
+    """One rendered raw report plus its out-of-band ground truth.
+
+    ``lines`` is what the OCR/parsing pipeline sees; the ``truth_*``
+    fields are the canonical records the renderer consumed, retained
+    only so evaluation can score the recovered records.
+    """
+
+    document_id: str
+    manufacturer: str
+    kind: str  # "disengagement" or "accident"
+    lines: list[str] = field(default_factory=list)
+    truth_disengagements: list[DisengagementRecord] = field(
+        default_factory=list)
+    truth_mileage: list[MonthlyMileage] = field(default_factory=list)
+    truth_accidents: list[AccidentRecord] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        """Full document text."""
+        return "\n".join(self.lines)
+
+
+def _fmt_month_abbr(month: str) -> str:
+    """``2016-05`` -> ``May-16`` (Waymo's month style)."""
+    year, mon = int(month[:4]), int(month[5:7])
+    return f"{_MONTH_ABBR[mon - 1]}-{year % 100:02d}"
+
+
+def _fmt_time_12h(tod: tuple[int, int, int]) -> str:
+    hour, minute, _ = tod
+    suffix = "AM" if hour < 12 else "PM"
+    display = hour % 12 or 12
+    return f"{display}:{minute:02d} {suffix}"
+
+
+def _fmt_time_24h(tod: tuple[int, int, int]) -> str:
+    return f"{tod[0]:02d}:{tod[1]:02d}:{tod[2]:02d}"
+
+
+def _fmt_reaction(value: float | None, style: str) -> str:
+    if value is None:
+        return ""
+    if style == "sec":
+        return f"{value:g} sec"
+    if style == "s":
+        return f"{value:g} s"
+    return f"{value:g}"
+
+
+def _modality_word(modality: Modality | None) -> str:
+    if modality is Modality.AUTOMATIC:
+        return "Auto"
+    if modality is Modality.MANUAL:
+        return "Manual"
+    if modality is Modality.PLANNED:
+        return "Planned"
+    return "Unknown"
+
+
+def _require(record: DisengagementRecord, *fields: str) -> None:
+    for name in fields:
+        if getattr(record, name) is None:
+            raise SynthesisError(
+                f"{record.manufacturer} renderer needs {name!r} but the "
+                "record lacks it")
+
+
+# ---------------------------------------------------------------------------
+# Per-manufacturer disengagement-row renderers.
+# ---------------------------------------------------------------------------
+
+def _render_nissan(r: DisengagementRecord) -> str:
+    _require(r, "event_date", "time_of_day", "vehicle_id")
+    d = r.event_date
+    parts = [
+        f"{d.month}/{d.day}/{d.year % 100:02d}",
+        _fmt_time_12h(r.time_of_day),
+        r.vehicle_id or "",
+        _modality_word(r.modality),
+        r.description,
+        r.road_type or "unknown road",
+        r.weather or "Unknown",
+    ]
+    if r.reaction_time_s is not None:
+        parts.append(_fmt_reaction(r.reaction_time_s, "s"))
+    return " — ".join(parts)
+
+
+def _render_waymo(r: DisengagementRecord) -> str:
+    parts = [
+        _fmt_month_abbr(r.month),
+        (r.road_type or "unknown road").title(),
+        _modality_word(r.modality),
+        "Safe Operation",
+        r.description,
+    ]
+    if r.reaction_time_s is not None:
+        parts.append(f"reaction {_fmt_reaction(r.reaction_time_s, 's')}")
+    if r.vehicle_id is not None:
+        parts.append(f"car {r.vehicle_id}")
+    return " — ".join(parts)
+
+
+def _render_volkswagen(r: DisengagementRecord) -> str:
+    _require(r, "event_date", "time_of_day")
+    d = r.event_date
+    parts = [
+        f"{d.month:02d}/{d.day:02d}/{d.year % 100:02d}",
+        _fmt_time_24h(r.time_of_day),
+        "Takeover-Request",
+        r.description,
+    ]
+    if r.reaction_time_s is not None:
+        parts.append(
+            f"reaction time: {_fmt_reaction(r.reaction_time_s, 's')}")
+    return " — ".join(parts)
+
+
+def _render_benz(r: DisengagementRecord) -> str:
+    _require(r, "event_date", "time_of_day", "vehicle_id")
+    d = r.event_date
+    initiator = ("Driver" if r.modality is Modality.MANUAL else "System")
+    fields = [
+        f"Date: {d.month:02d}/{d.day:02d}/{d.year}",
+        f"Time: {r.time_of_day[0]:02d}:{r.time_of_day[1]:02d}",
+        f"Vehicle: {r.vehicle_id}",
+        f"Initiator: {initiator}",
+        f"Cause: {r.description}",
+        f"Road: {r.road_type or 'unknown'}",
+        f"Weather: {r.weather or 'Unknown'}",
+    ]
+    if r.reaction_time_s is not None:
+        fields.append(
+            f"Reaction: {_fmt_reaction(r.reaction_time_s, 'sec')}")
+    return "; ".join(fields)
+
+
+def _render_bosch(r: DisengagementRecord) -> str:
+    _require(r, "event_date", "vehicle_id")
+    d = r.event_date
+    return " | ".join([
+        d.isoformat(),
+        r.vehicle_id or "",
+        "planned test",
+        r.description,
+        r.road_type or "unknown",
+        r.weather or "Unknown",
+    ])
+
+
+def _render_gmcruise(r: DisengagementRecord) -> str:
+    _require(r, "event_date")
+    return ",".join([
+        r.event_date.isoformat(),
+        f'"{r.description}"',
+        "planned",
+    ])
+
+
+def _render_delphi(r: DisengagementRecord) -> str:
+    _require(r, "event_date", "time_of_day", "vehicle_id")
+    d = r.event_date
+    rt = "" if r.reaction_time_s is None else f"{r.reaction_time_s:g}"
+    return ",".join([
+        f"{d.month:02d}/{d.day:02d}/{d.year}",
+        _fmt_time_24h(r.time_of_day),
+        r.vehicle_id or "",
+        _modality_word(r.modality).lower(),
+        f'"{r.description}"',
+        r.road_type or "",
+        r.weather or "",
+        rt,
+    ])
+
+
+def _render_tesla(r: DisengagementRecord) -> str:
+    _require(r, "event_date", "time_of_day")
+    d = r.event_date
+    parts = [
+        f"{d.month}/{d.day}/{d.year % 100:02d} "
+        f"{r.time_of_day[0]:02d}:{r.time_of_day[1]:02d}",
+        _modality_word(r.modality),
+        r.description,
+    ]
+    if r.reaction_time_s is not None:
+        parts.append(f"rt {r.reaction_time_s:g}s")
+    return " - ".join(parts)
+
+
+_ROW_RENDERERS = {
+    "Nissan": _render_nissan,
+    "Waymo": _render_waymo,
+    "Volkswagen": _render_volkswagen,
+    "Mercedes-Benz": _render_benz,
+    "Bosch": _render_bosch,
+    "GMCruise": _render_gmcruise,
+    "Delphi": _render_delphi,
+    "Tesla": _render_tesla,
+}
+
+#: Generic pipe-separated fallback used for manufacturers without a
+#: bespoke format (Ford, BMW, Honda, Uber ATC).
+def _render_generic(r: DisengagementRecord) -> str:
+    d = r.event_date
+    date_text = d.isoformat() if d else r.month
+    return " | ".join([
+        date_text,
+        r.vehicle_id or "unknown vehicle",
+        _modality_word(r.modality),
+        r.description,
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Mileage-section renderers.
+# ---------------------------------------------------------------------------
+
+def _render_mileage_line(manufacturer: str, cell: MonthlyMileage) -> str:
+    if manufacturer == "Waymo":
+        return (f"Autonomous miles {_fmt_month_abbr(cell.month)} "
+                f"car {cell.vehicle_id}: {cell.miles:.1f}")
+    if manufacturer == "Delphi":
+        return f"{cell.month},{cell.vehicle_id},{cell.miles:.1f}"
+    if manufacturer == "Mercedes-Benz":
+        return (f"Month: {cell.month}; Vehicle: {cell.vehicle_id}; "
+                f"Autonomous km: {cell.miles / 0.621371:.1f}")
+    return f"MILES {cell.month} {cell.vehicle_id} {cell.miles:.2f}"
+
+
+# ---------------------------------------------------------------------------
+# Document assembly.
+# ---------------------------------------------------------------------------
+
+def render_disengagement_document(
+        manufacturer: str, period: ReportPeriod,
+        records: list[DisengagementRecord],
+        mileage: list[MonthlyMileage]) -> RawDocument:
+    """Assemble one manufacturer's annual disengagement report."""
+    start, end = PERIODS[period]
+    doc_id = f"{manufacturer}-{period.value}-disengagements"
+    doc = RawDocument(document_id=doc_id, manufacturer=manufacturer,
+                      kind="disengagement")
+    doc.lines.append(
+        "REPORT OF AUTONOMOUS VEHICLE DISENGAGEMENTS")
+    doc.lines.append(f"Manufacturer: {manufacturer}")
+    doc.lines.append(
+        f"Reporting period: {start.isoformat()} to {end.isoformat()}")
+    doc.lines.append("")
+    doc.lines.append("SECTION 1: AUTONOMOUS MILES")
+    for cell in mileage:
+        doc.lines.append(_render_mileage_line(manufacturer, cell))
+        doc.truth_mileage.append(cell)
+    doc.lines.append("")
+    doc.lines.append("SECTION 2: DISENGAGEMENT EVENTS")
+    renderer = _ROW_RENDERERS.get(manufacturer, _render_generic)
+    for record in records:
+        line_no = len(doc.lines)
+        record.source_document = doc_id
+        record.source_line = line_no
+        doc.lines.append(renderer(record))
+        doc.truth_disengagements.append(record)
+    doc.lines.append("END OF REPORT")
+    return doc
+
+
+def render_accident_document(manufacturer: str,
+                             record: AccidentRecord,
+                             index: int) -> RawDocument:
+    """Assemble one OL-316 accident report (one document per accident)."""
+    doc_id = f"{manufacturer}-accident-{index:03d}"
+    record.source_document = doc_id
+    event_date: date | None = record.event_date
+    date_text = (f"{event_date.month:02d}/{event_date.day:02d}/"
+                 f"{event_date.year}") if event_date else "UNKNOWN"
+    mode = "YES" if record.autonomous_at_collision else "NO"
+    vehicle = "[REDACTED]" if record.redacted else (
+        record.vehicle_id or "unknown")
+    description = record.description
+    if record.disengaged_before_collision:
+        description += (" The test driver disengaged autonomous mode "
+                        "prior to the collision.")
+    lines = [
+        "STATE OF CALIFORNIA",
+        "REPORT OF TRAFFIC ACCIDENT INVOLVING AN AUTONOMOUS VEHICLE "
+        "(OL 316)",
+        f"Manufacturer: {manufacturer}",
+        f"Date of Accident: {date_text}",
+        f"Location: {record.location or 'UNKNOWN'}",
+        f"Vehicle: {vehicle}",
+        f"Autonomous Mode at Time of Collision: {mode}",
+        f"AV Speed: {record.av_speed_mph:g} MPH"
+        if record.av_speed_mph is not None else "AV Speed: UNKNOWN",
+        f"Other Vehicle Speed: {record.other_speed_mph:g} MPH"
+        if record.other_speed_mph is not None
+        else "Other Vehicle Speed: UNKNOWN",
+        f"Collision Type: {record.collision_type or 'unknown'}",
+        f"Injuries: {'YES' if record.injuries else 'NONE'}",
+        f"Description: {description}",
+    ]
+    return RawDocument(
+        document_id=doc_id, manufacturer=manufacturer, kind="accident",
+        lines=lines, truth_accidents=[record])
+
+
+__all__ = [
+    "RawDocument",
+    "render_disengagement_document",
+    "render_accident_document",
+]

@@ -1,0 +1,165 @@
+"""Unit and quantity helpers shared across the pipeline.
+
+The DMV reports mix units and formats freely: miles vs. kilometres,
+"0.8 sec" vs. "0.5-1.0 s" ranges vs. "less than 1 second", 12-hour vs.
+24-hour clock times.  This module centralizes the coercions so every
+parser normalizes identically.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import date, datetime
+
+from .errors import FieldCoercionError
+
+MILES_PER_KM = 0.621371
+
+_NUMBER_RE = re.compile(r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?")
+
+_DURATION_UNITS = {
+    "ms": 1e-3,
+    "msec": 1e-3,
+    "millisecond": 1e-3,
+    "milliseconds": 1e-3,
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "mins": 60.0,
+    "minute": 60.0,
+    "minutes": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "hrs": 3600.0,
+    "hour": 3600.0,
+    "hours": 3600.0,
+}
+
+_DATE_FORMATS = (
+    "%m/%d/%y",
+    "%m/%d/%Y",
+    "%Y-%m-%d",
+    "%b-%y",
+    "%B %d, %Y",
+    "%d %b %Y",
+    "%m-%d-%Y",
+)
+
+_TIME_FORMATS = (
+    "%H:%M:%S",
+    "%H:%M",
+    "%I:%M %p",
+    "%I:%M:%S %p",
+    "%I%p",
+)
+
+
+def parse_number(text: str) -> float:
+    """Extract the first numeric value from ``text``.
+
+    Commas used as thousands separators are removed first, so
+    ``"1,116,605 miles"`` parses to ``1116605.0``.
+    """
+    cleaned = text.replace(",", "")
+    match = _NUMBER_RE.search(cleaned)
+    if match is None:
+        raise FieldCoercionError(f"no number found in {text!r}", line=text)
+    return float(match.group())
+
+
+def parse_miles(text: str) -> float:
+    """Parse a distance expressed in miles or kilometres into miles."""
+    value = parse_number(text)
+    lowered = text.lower()
+    if "km" in lowered or "kilometer" in lowered or "kilometre" in lowered:
+        return value * MILES_PER_KM
+    return value
+
+
+def parse_mph(text: str) -> float:
+    """Parse a speed in mph (or km/h, converted) into mph."""
+    value = parse_number(text)
+    lowered = text.lower()
+    if "km/h" in lowered or "kph" in lowered or "kmh" in lowered:
+        return value * MILES_PER_KM
+    return value
+
+
+def parse_duration_seconds(text: str) -> float:
+    """Parse a duration like ``"0.8 sec"`` or ``"2 min"`` into seconds.
+
+    Ranges such as ``"0.5-1.0 s"`` are resolved to their *upper* bound,
+    following the paper's convention ("we assume the reaction times to be
+    upper bounded where they are listed as ranges").  Qualitative phrases
+    like ``"less than 1 second"`` also resolve to the stated bound.
+    """
+    lowered = text.strip().lower()
+    if not lowered:
+        raise FieldCoercionError("empty duration", line=text)
+    cleaned = lowered.replace(",", "")
+    # A hyphen between digits is a range separator, not a sign.
+    cleaned = re.sub(r"(?<=\d)\s*-\s*(?=[\d.])", " ", cleaned)
+    numbers = [float(m.group()) for m in _NUMBER_RE.finditer(cleaned)]
+    if not numbers:
+        raise FieldCoercionError(f"no duration found in {text!r}", line=text)
+    value = max(numbers)
+    unit_match = re.search(r"([a-z]+)\s*$", cleaned)
+    multiplier = 1.0
+    if unit_match is not None:
+        unit = unit_match.group(1)
+        if unit in _DURATION_UNITS:
+            multiplier = _DURATION_UNITS[unit]
+    else:
+        for unit, factor in _DURATION_UNITS.items():
+            if re.search(rf"\b{unit}\b", cleaned):
+                multiplier = factor
+                break
+    return value * multiplier
+
+
+def parse_date(text: str) -> date:
+    """Parse a date in any of the formats seen across manufacturer reports."""
+    cleaned = text.strip()
+    for fmt in _DATE_FORMATS:
+        try:
+            return datetime.strptime(cleaned, fmt).date()
+        except ValueError:
+            continue
+    raise FieldCoercionError(f"unrecognized date {text!r}", line=text)
+
+
+def parse_time_of_day(text: str) -> tuple[int, int, int]:
+    """Parse a wall-clock time into an ``(hour, minute, second)`` tuple."""
+    cleaned = " ".join(text.strip().upper().split())
+    for fmt in _TIME_FORMATS:
+        try:
+            parsed = datetime.strptime(cleaned, fmt)
+        except ValueError:
+            continue
+        return parsed.hour, parsed.minute, parsed.second
+    raise FieldCoercionError(f"unrecognized time {text!r}", line=text)
+
+
+def month_key(value: date) -> str:
+    """Return the canonical ``YYYY-MM`` key for a date."""
+    return f"{value.year:04d}-{value.month:02d}"
+
+
+def months_between(start: date, end: date) -> list[str]:
+    """Return the inclusive list of ``YYYY-MM`` keys between two dates."""
+    if (end.year, end.month) < (start.year, start.month):
+        raise FieldCoercionError(
+            f"end month {end} precedes start month {start}")
+    keys = []
+    year, month = start.year, start.month
+    while (year, month) <= (end.year, end.month):
+        keys.append(f"{year:04d}-{month:02d}")
+        month += 1
+        if month == 13:
+            month = 1
+            year += 1
+    return keys

@@ -1,0 +1,100 @@
+"""Tests for the action-window risk model."""
+
+import pytest
+
+from repro.analysis.actionwindow import (
+    DetectionModel,
+    action_window_risk,
+    manufacturer_risk,
+    risk_curve,
+    time_budget_from_gap,
+)
+from repro.analysis.fitting import ExponWeibullFit
+from repro.errors import AnalysisError, InsufficientDataError
+
+FIT = ExponWeibullFit(a=1.4, c=1.6, scale=0.55, ks_statistic=0.02,
+                      n=100)
+
+
+class TestTimeBudget:
+    def test_budget_scales_inversely_with_speed(self):
+        slow = time_budget_from_gap(100.0, 10.0)
+        fast = time_budget_from_gap(100.0, 40.0)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_known_value(self):
+        # 44 ft at 30 mph = 1 second.
+        assert time_budget_from_gap(44.0, 30.0) == pytest.approx(
+            1.0, rel=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            time_budget_from_gap(0.0, 10.0)
+        with pytest.raises(AnalysisError):
+            time_budget_from_gap(10.0, 0.0)
+
+
+class TestDetectionModel:
+    def test_zero_latency(self):
+        import numpy as np
+        model = DetectionModel(0.0)
+        assert np.all(model.sample(10, np.random.default_rng(0)) == 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            DetectionModel(-1.0)
+
+
+class TestRisk:
+    def test_generous_budget_is_safe(self):
+        risk = action_window_risk(FIT, DetectionModel(0.2), 30.0)
+        assert risk.exceed_probability < 0.01
+
+    def test_tight_budget_is_risky(self):
+        risk = action_window_risk(FIT, DetectionModel(0.5), 0.5)
+        assert risk.exceed_probability > 0.5
+
+    def test_risk_monotone_in_budget(self):
+        tight = action_window_risk(FIT, DetectionModel(0.5), 1.0)
+        loose = action_window_risk(FIT, DetectionModel(0.5), 3.0)
+        assert tight.exceed_probability >= loose.exceed_probability
+
+    def test_detection_latency_adds_risk(self):
+        fast = action_window_risk(FIT, DetectionModel(0.0), 1.5)
+        slow = action_window_risk(FIT, DetectionModel(1.0), 1.5)
+        assert slow.exceed_probability > fast.exceed_probability
+        assert slow.mean_window_s > fast.mean_window_s
+
+    def test_percentile_above_mean(self):
+        risk = action_window_risk(FIT, DetectionModel(0.5), 1.0)
+        assert risk.p95_window_s > risk.mean_window_s
+
+    def test_deterministic_per_seed(self):
+        a = action_window_risk(FIT, DetectionModel(0.3), 1.0, seed=5)
+        b = action_window_risk(FIT, DetectionModel(0.3), 1.0, seed=5)
+        assert a.exceed_probability == b.exceed_probability
+
+    def test_invalid_budget(self):
+        with pytest.raises(AnalysisError):
+            action_window_risk(FIT, DetectionModel(0.5), 0.0)
+
+    def test_risk_curve_increases_with_speed(self):
+        curve = risk_curve(FIT, DetectionModel(0.5), gap_feet=60.0,
+                           speeds_mph=[5, 15, 30, 50],
+                           samples=5000)
+        risks = [r for _, r in curve]
+        assert risks == sorted(risks)
+        assert risks[-1] > risks[0]
+
+
+class TestManufacturerRisk:
+    def test_waymo_risk_from_database(self, db):
+        risk = manufacturer_risk(db, "Waymo", budget_s=1.5,
+                                 samples=5000)
+        assert 0.0 <= risk.exceed_probability <= 1.0
+        # Mean window = detection (0.5) + Waymo reaction (~0.75).
+        assert risk.mean_window_s == pytest.approx(1.25, abs=0.3)
+
+    def test_manufacturer_without_reaction_times(self, db):
+        with pytest.raises(InsufficientDataError):
+            manufacturer_risk(db, "GMCruise", budget_s=1.0)

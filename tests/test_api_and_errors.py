@@ -1,0 +1,86 @@
+"""Tests for the public API surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    CalibrationError,
+    FieldCoercionError,
+    InsufficientDataError,
+    NlpError,
+    OcrError,
+    OntologyError,
+    ParseError,
+    PipelineError,
+    ReproError,
+    StpaError,
+    SynthesisError,
+    UnknownFormatError,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        # The README quickstart names exactly these.
+        assert callable(repro.run_pipeline)
+        assert callable(repro.generate_corpus)
+        assert callable(repro.process_corpus)
+        repro.PipelineConfig()
+        repro.FailureDatabase()
+
+    def test_default_seed_constant(self):
+        assert repro.DEFAULT_SEED == 2018
+
+    def test_enums_exported(self):
+        assert repro.FaultTag.SOFTWARE
+        assert repro.FailureCategory.ML_DESIGN
+        assert repro.Modality.PLANNED
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        CalibrationError, SynthesisError, OcrError, ParseError,
+        NlpError, StpaError, PipelineError, AnalysisError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_field_coercion_is_parse_error(self):
+        assert issubclass(FieldCoercionError, ParseError)
+
+    def test_unknown_format_is_parse_error(self):
+        assert issubclass(UnknownFormatError, ParseError)
+
+    def test_insufficient_data_is_analysis_error(self):
+        assert issubclass(InsufficientDataError, AnalysisError)
+
+    def test_ontology_is_nlp_error(self):
+        assert issubclass(OntologyError, NlpError)
+
+    def test_parse_error_formats_context(self):
+        error = ParseError("bad row", line="x — y",
+                           manufacturer="Nissan")
+        text = str(error)
+        assert "bad row" in text
+        assert "Nissan" in text
+        assert "x — y" in text
+
+    def test_parse_error_without_context(self):
+        assert str(ParseError("plain")) == "plain"
+
+    def test_catching_base_at_pipeline_boundary(self):
+        # A caller can wrap any stage in one except clause.
+        try:
+            raise FieldCoercionError("nope")
+        except ReproError as caught:
+            assert "nope" in str(caught)

@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def nissan_db_path(tmp_path_factory):
+    """A small database JSON produced through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "db.json"
+    code = main(["run", "--seed", "5", "--manufacturers", "Nissan",
+                 "--no-ocr", "--dictionary", "seed",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 2018
+        assert not args.no_ocr
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestRun:
+    def test_run_writes_database(self, nissan_db_path, capsys):
+        data = json.loads(nissan_db_path.read_text())
+        assert len(data["disengagements"]) == 135
+        assert len(data["accidents"]) == 1
+
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--seed", "5", "--manufacturers", "Ford",
+                     "--no-ocr"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disengagements: 3" in out
+
+
+class TestCorpusAndProcess:
+    def test_corpus_then_process(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        assert main(["corpus", "--seed", "6", "--manufacturers",
+                     "Tesla", "--out", str(corpus_dir)]) == 0
+        assert (corpus_dir / "manifest.json").exists()
+        db_path = tmp_path / "db.json"
+        assert main(["process", "--corpus", str(corpus_dir),
+                     "--seed", "6", "--no-ocr",
+                     "--dictionary", "seed",
+                     "--out", str(db_path)]) == 0
+        data = json.loads(db_path.read_text())
+        assert len(data["disengagements"]) == 182
+
+
+class TestReport:
+    def test_report_to_stdout(self, nissan_db_path, capsys):
+        code = main(["report", "table6", "--db", str(nissan_db_path)])
+        assert code == 0
+        assert "Table VI" in capsys.readouterr().out
+
+    def test_report_to_directory(self, nissan_db_path, tmp_path,
+                                 capsys):
+        out_dir = tmp_path / "exhibits"
+        code = main(["report", "table3", "table6",
+                     "--db", str(nissan_db_path),
+                     "--out", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "table3.txt").exists()
+        assert (out_dir / "table6.txt").exists()
+
+    def test_report_unknown_experiment(self, nissan_db_path, capsys):
+        code = main(["report", "table99", "--db", str(nissan_db_path)])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestTag:
+    def test_tag_arguments(self, capsys):
+        code = main(["tag", "Software module froze",
+                     "watchdog error"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Software" in out
+        assert "Hang/Crash" in out
+
+    def test_tag_with_database_dictionary(self, nissan_db_path,
+                                          capsys):
+        code = main(["tag", "--db", str(nissan_db_path),
+                     "The AV didn't see the lead vehicle"])
+        assert code == 0
+        assert "Recognition System" in capsys.readouterr().out
+
+
+class TestStpaAndInject:
+    def test_stpa_overlay(self, nissan_db_path, capsys):
+        code = main(["stpa", "--db", str(nissan_db_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failures overlaid" in out
+        assert "CL-1" in out
+
+    def test_inject(self, capsys):
+        code = main(["inject", "--injections", "50", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hazard rate by fault origin" in out
+        assert "recognition" in out
+
+
+class TestValidate:
+    def test_validate(self, nissan_db_path, capsys):
+        code = main(["validate", "--db", str(nissan_db_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tag accuracy" in out
+        assert "Nissan" in out
+
+
+class TestLint:
+    def test_lint_clean_database(self, nissan_db_path, capsys):
+        code = main(["lint", "--db", str(nissan_db_path)])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_broken_database(self, tmp_path, capsys):
+        from repro.pipeline import FailureDatabase
+        from repro.parsing.records import DisengagementRecord
+
+        db = FailureDatabase(disengagements=[DisengagementRecord(
+            manufacturer="X", month="2030-01", description="d")])
+        path = tmp_path / "broken.json"
+        db.save(path)
+        code = main(["lint", "--db", str(path)])
+        assert code == 1
+        assert "month-coverage" in capsys.readouterr().out
+
+
+class TestSummary:
+    def test_summary_to_stdout(self, nissan_db_path, capsys):
+        code = main(["summary", "--db", str(nissan_db_path),
+                     "--no-charts"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# AV Failure Study Report" in out
+
+    def test_summary_to_file(self, nissan_db_path, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        code = main(["summary", "--db", str(nissan_db_path),
+                     "--out", str(out_path)])
+        assert code == 0
+        assert "## Headlines" in out_path.read_text()

@@ -1,0 +1,73 @@
+"""Tests for unsupervised narrative clustering."""
+
+import pytest
+
+from repro.errors import NlpError
+from repro.nlp.clustering import (
+    cluster_narratives,
+    cluster_purity,
+)
+
+
+class TestClustering:
+    def test_distinct_topics_separate(self):
+        texts = (
+            ["Software module froze on the logging daemon"] * 5
+            + ["LIDAR failed to localize near the ramp"] * 5
+        )
+        result = cluster_narratives(texts, threshold=0.3)
+        software_cluster = result.assignments[0]
+        lidar_cluster = result.assignments[5]
+        assert software_cluster != lidar_cluster
+        # Each topic lands together.
+        assert all(result.assignments[i] == software_cluster
+                   for i in range(5))
+        assert all(result.assignments[i] == lidar_cluster
+                   for i in range(5, 10))
+
+    def test_every_narrative_assigned(self):
+        texts = ["alpha beta", "gamma delta", "alpha beta gamma"]
+        result = cluster_narratives(texts)
+        assert set(result.assignments) == {0, 1, 2}
+        assert sum(c.size for c in result.clusters) == 3
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(NlpError):
+            cluster_narratives([])
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(NlpError):
+            cluster_narratives(["x"], threshold=0.0)
+
+    def test_characteristic_phrases(self):
+        texts = (["watchdog timer expired again today"] * 6
+                 + ["pedestrian crossing missed by perception"] * 6)
+        result = cluster_narratives(texts, threshold=0.3)
+        cluster = result.cluster_of(0)
+        phrases = result.characteristic_phrases(cluster)
+        flattened = {token for phrase in phrases for token in phrase}
+        assert "watchdog" in flattened
+
+    def test_top_clusters_ordering(self):
+        texts = ["same narrative text"] * 8 + ["a different one"] * 2
+        result = cluster_narratives(texts, threshold=0.5)
+        top = result.top_clusters(2)
+        assert top[0].size >= top[1].size
+
+
+class TestPurityOnCorpus:
+    def test_clusters_align_with_truth_tags(self, db):
+        records = [r for r in db.disengagements
+                   if r.truth_tag is not None][:800]
+        texts = [r.description for r in records]
+        labels = [r.truth_tag for r in records]
+        result = cluster_narratives(texts, threshold=0.35)
+        purity = cluster_purity(result, labels)
+        # Clusters found without labels largely agree with the
+        # ground-truth tag structure.
+        assert purity > 0.75
+
+    def test_purity_validates_lengths(self):
+        result = cluster_narratives(["a b c"])
+        with pytest.raises(NlpError):
+            cluster_purity(result, [])

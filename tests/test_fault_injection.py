@@ -1,0 +1,97 @@
+"""Tests for the stochastic fault-injection campaign."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StpaError
+from repro.stpa.fault_injection import (
+    DEFAULT_DETECTION,
+    HAZARD_COMPONENT,
+    FaultInjector,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return FaultInjector().run_campaign(
+        injections_per_component=400, seed=123)
+
+
+class TestInjection:
+    def test_single_injection_reaches_origin(self):
+        injector = FaultInjector()
+        outcome = injector.inject("sensors", np.random.default_rng(0))
+        assert "sensors" in outcome.reached
+
+    def test_unknown_origin_raises(self):
+        injector = FaultInjector()
+        with pytest.raises(StpaError):
+            injector.inject("warp_core", np.random.default_rng(0))
+
+    def test_invalid_mitigation_rejected(self):
+        with pytest.raises(StpaError):
+            FaultInjector(driver_mitigation=1.5)
+
+    def test_invalid_campaign_size_rejected(self):
+        with pytest.raises(StpaError):
+            FaultInjector().run_campaign(injections_per_component=0)
+
+
+class TestCampaign:
+    def test_campaign_covers_all_injectable_components(self, campaign):
+        origins = {o.origin for o in campaign.outcomes}
+        assert HAZARD_COMPONENT not in origins
+        assert "driver" not in origins
+        assert {"sensors", "recognition", "planner_controller",
+                "compute", "network"} <= origins
+
+    def test_hazard_rates_are_probabilities(self, campaign):
+        for origin, rate in campaign.hazard_ranking():
+            assert 0.0 <= rate <= 1.0, origin
+
+    def test_hazard_ranking_sorted(self, campaign):
+        rates = [rate for _, rate in campaign.hazard_ranking()]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_ml_faults_poorly_detected(self, campaign):
+        # The design choice that mirrors the paper: the ML components
+        # detect their own faults far less often than the watchdogged
+        # substrate.
+        assert campaign.detection_rate("recognition") < \
+            campaign.detection_rate("compute") - 0.2
+
+    def test_actuation_proximity_raises_hazard(self, campaign):
+        # Faults injected adjacent to the controlled process become
+        # hazards more often than deep-pipeline faults.
+        assert campaign.hazard_rate("actuators") >= \
+            campaign.hazard_rate("recognition")
+
+    def test_detection_sites_counted(self, campaign):
+        sites = campaign.detection_sites()
+        assert sum(sites.values()) == sum(
+            1 for o in campaign.outcomes if o.detected_at is not None)
+
+    def test_campaign_is_seed_deterministic(self):
+        a = FaultInjector().run_campaign(
+            injections_per_component=50, seed=9)
+        b = FaultInjector().run_campaign(
+            injections_per_component=50, seed=9)
+        assert [o.reached for o in a.outcomes] == \
+            [o.reached for o in b.outcomes]
+
+    def test_zero_detection_means_no_mitigation(self):
+        injector = FaultInjector(
+            detection={name: 0.0 for name in DEFAULT_DETECTION})
+        campaign = injector.run_campaign(
+            injections_per_component=100, origins=["sensors"], seed=1)
+        assert all(o.detected_at is None for o in campaign.outcomes)
+        assert all(not o.mitigated for o in campaign.outcomes)
+
+    def test_perfect_detection_and_mitigation_prevents_hazards(self):
+        injector = FaultInjector(
+            detection={name: 1.0 for name in DEFAULT_DETECTION},
+            driver_mitigation=1.0)
+        campaign = injector.run_campaign(
+            injections_per_component=100, origins=["actuators"],
+            seed=2)
+        assert all(not o.hazardous for o in campaign.outcomes)

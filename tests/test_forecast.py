@@ -1,0 +1,62 @@
+"""Tests for DPM forecasting and backtesting."""
+
+import pytest
+
+from repro.analysis.forecast import (
+    backtest,
+    backtest_all,
+    predict_dpm,
+)
+from repro.analysis.regression import LinearFit
+from repro.errors import InsufficientDataError
+
+
+class TestPredict:
+    def test_power_law_prediction(self):
+        # log10(dpm) = -0.5 * log10(miles) + 0  ->  dpm = miles^-0.5
+        fit = LinearFit(slope=-0.5, intercept=0.0, r_squared=1.0,
+                        slope_stderr=0.0, n=10)
+        assert predict_dpm(fit, 10000.0) == pytest.approx(0.01)
+
+    def test_rejects_nonpositive_miles(self):
+        fit = LinearFit(slope=-0.5, intercept=0.0, r_squared=1.0,
+                        slope_stderr=0.0, n=10)
+        with pytest.raises(InsufficientDataError):
+            predict_dpm(fit, 0.0)
+
+
+class TestBacktest:
+    def test_waymo_backtest_pins_the_order(self, db):
+        forecast = backtest(db, "Waymo")
+        assert forecast.train_months >= 3
+        assert forecast.test_months >= 3
+        # The simple power law pins the order of magnitude...
+        assert forecast.total_error < 1.2
+        # ...and errs on the high side: Waymo improved *faster* than
+        # its own early trend (consistent with the paper's narrative
+        # of accelerating maturity).
+        assert forecast.predicted_total > forecast.actual_total
+
+    def test_backtest_preserves_month_counts(self, db):
+        forecast = backtest(db, "Mercedes-Benz")
+        assert len(forecast.predicted) == forecast.test_months
+        assert len(forecast.actual) == forecast.test_months
+        assert all(p >= 0 for p in forecast.predicted)
+
+    def test_invalid_train_fraction(self, db):
+        with pytest.raises(InsufficientDataError):
+            backtest(db, "Waymo", train_fraction=1.5)
+
+    def test_too_little_history(self, db):
+        # Tesla has only ~8 active months; with an extreme fraction
+        # the holdout disappears.
+        with pytest.raises(InsufficientDataError):
+            backtest(db, "Ford")
+
+    def test_backtest_all_skips_sparse(self, db):
+        forecasts = backtest_all(db)
+        assert "Waymo" in forecasts
+        assert "Ford" not in forecasts
+        # The trend model is a usable predictor for the big reporters.
+        useful = [f for f in forecasts.values() if f.total_error < 1.0]
+        assert len(useful) >= 4

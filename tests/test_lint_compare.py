@@ -1,0 +1,128 @@
+"""Tests for the database linter and database diffing."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis.compare import (
+    MetricDelta,
+    diff_databases,
+    split_by_period,
+)
+from repro.errors import InsufficientDataError
+from repro.pipeline import FailureDatabase
+from repro.pipeline.lint import Severity, errors, lint_database
+from repro.parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+from repro.taxonomy import FailureCategory, FaultTag
+
+
+class TestLint:
+    def test_clean_pipeline_output_has_no_errors(self, db):
+        findings = lint_database(db)
+        assert errors(findings) == [], [str(f) for f in errors(
+            findings)][:5]
+
+    def test_vw_outlier_is_flagged_as_warning(self, db):
+        findings = lint_database(db)
+        warnings = [f for f in findings
+                    if f.check == "implausible-reaction-time"]
+        assert warnings  # the ~4 h Volkswagen record
+
+    def test_month_outside_window(self):
+        db = FailureDatabase(disengagements=[DisengagementRecord(
+            manufacturer="X", month="2020-01", description="d")])
+        findings = lint_database(db)
+        assert any(f.check == "month-coverage"
+                   for f in errors(findings))
+
+    def test_date_month_mismatch(self):
+        db = FailureDatabase(disengagements=[DisengagementRecord(
+            manufacturer="X", month="2015-01",
+            event_date=date(2015, 2, 3), description="d")])
+        assert any(f.check == "date-month-mismatch"
+                   for f in errors(lint_database(db)))
+
+    def test_tag_category_mismatch(self):
+        db = FailureDatabase(disengagements=[DisengagementRecord(
+            manufacturer="X", month="2015-01", description="d",
+            tag=FaultTag.SOFTWARE,
+            category=FailureCategory.ML_DESIGN)])
+        assert any(f.check == "tag-category-mismatch"
+                   for f in errors(lint_database(db)))
+
+    def test_events_without_miles(self):
+        db = FailureDatabase(disengagements=[DisengagementRecord(
+            manufacturer="X", month="2015-01", description="d")])
+        assert any(f.check == "events-without-miles"
+                   for f in errors(lint_database(db)))
+
+    def test_redaction_leak(self):
+        db = FailureDatabase(accidents=[AccidentRecord(
+            manufacturer="X", month="2015-01", redacted=True,
+            vehicle_id="LEAKED")])
+        assert any(f.check == "redaction-leak"
+                   for f in errors(lint_database(db)))
+
+    def test_untagged_warning(self):
+        db = FailureDatabase(
+            disengagements=[DisengagementRecord(
+                manufacturer="X", month="2015-01", description="d")],
+            mileage=[MonthlyMileage("X", "2015-01", 10.0)])
+        findings = lint_database(db)
+        assert any(f.check == "untagged-records"
+                   and f.severity is Severity.WARNING
+                   for f in findings)
+
+
+class TestMetricDelta:
+    def test_directions(self):
+        assert MetricDelta("m", 1.0, 2.0).direction == "up"
+        assert MetricDelta("m", 2.0, 1.0).direction == "down"
+        assert MetricDelta("m", 1.0, 1.0).direction == "flat"
+        assert MetricDelta("m", None, 1.0).direction == "n/a"
+
+    def test_relative(self):
+        assert MetricDelta("m", 2.0, 3.0).relative == pytest.approx(
+            0.5)
+        assert MetricDelta("m", 0.0, 3.0).relative is None
+
+
+class TestDiff:
+    def test_period_split_partitions(self, db):
+        first, second = split_by_period(db)
+        assert (len(first.disengagements) + len(second.disengagements)
+                == len(db.disengagements))
+        assert (len(first.accidents) + len(second.accidents)
+                == len(db.accidents))
+        assert first.total_miles + second.total_miles == \
+            pytest.approx(db.total_miles)
+
+    def test_year_over_year_waymo_improves(self, db):
+        first, second = split_by_period(db)
+        diffs = diff_databases(first, second)
+        waymo = diffs["Waymo"]
+        assert waymo.improving is True
+        assert waymo.delta("miles").direction == "up"
+
+    def test_bosch_worsens(self, db):
+        first, second = split_by_period(db)
+        assert diff_databases(first, second)["Bosch"].improving \
+            is False
+
+    def test_unknown_metric_raises(self, db):
+        first, second = split_by_period(db)
+        with pytest.raises(InsufficientDataError):
+            diff_databases(first, second)["Waymo"].delta("nonexistent")
+
+    def test_manufacturer_union(self):
+        a = FailureDatabase(mileage=[MonthlyMileage("A", "2015-01",
+                                                    5.0)])
+        b = FailureDatabase(mileage=[MonthlyMileage("B", "2015-01",
+                                                    5.0)])
+        diffs = diff_databases(a, b)
+        assert set(diffs) == {"A", "B"}
+        assert diffs["A"].delta("miles").direction == "n/a"

@@ -1,0 +1,234 @@
+"""Tests for the NLP engine: tokenizer, dictionary, and taggers."""
+
+import pytest
+
+from repro.nlp import (
+    FailureDictionary,
+    FirstMatchTagger,
+    Ontology,
+    STOPWORDS,
+    VotingTagger,
+    evaluate_tagger,
+    ngrams,
+    normalize_tokens,
+    phrase_candidates,
+    sentences,
+    tokenize,
+)
+from repro.nlp.dictionary import SEED_PHRASES, DictionaryEntry
+from repro.parsing.records import DisengagementRecord
+from repro.taxonomy import FailureCategory, FaultTag
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("The AV didn't see the lead vehicle.") == [
+            "the", "av", "didn't", "see", "the", "lead", "vehicle"]
+
+    def test_numbers_kept(self):
+        assert "316" in tokenize("form OL 316")
+
+    def test_sentences(self):
+        text = "Module froze. Driver disengaged! All safe."
+        assert sentences(text) == [
+            "Module froze", "Driver disengaged", "All safe"]
+
+
+class TestNormalize:
+    def test_stopwords_dropped(self):
+        tokens = normalize_tokens(tokenize(
+            "the driver safely disengaged and resumed manual control"))
+        assert tokens == []
+
+    def test_stemming_unifies_inflections(self):
+        a = normalize_tokens(["disengagements"], drop_stopwords=False)
+        b = normalize_tokens(["disengagement"], drop_stopwords=False)
+        assert a == b
+
+    def test_short_words_not_destroyed(self):
+        assert normalize_tokens(["bus"], drop_stopwords=False) == ["bus"]
+
+    def test_boilerplate_is_stopworded(self):
+        for word in ("driver", "vehicle", "manual", "control"):
+            assert word in STOPWORDS
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_phrase_candidates_thresholds(self):
+        documents = [["watchdog", "error"]] * 3 + [["other"]]
+        counts = phrase_candidates(documents, min_count=3)
+        assert counts[("watchdog", "error")] == 3
+        assert ("other",) not in counts
+
+
+class TestDictionary:
+    def test_seed_dictionary_covers_all_taggable_tags(self):
+        dictionary = FailureDictionary.from_seeds()
+        tagged = {entry.tag for entry in dictionary.entries}
+        expected = set(FaultTag) - {FaultTag.UNKNOWN}
+        assert tagged == expected
+
+    def test_match_finds_phrases(self):
+        dictionary = FailureDictionary.from_seeds()
+        tokens = normalize_tokens(tokenize(
+            "Takeover-Request — watchdog error"))
+        matches = dictionary.match(tokens)
+        assert any(m.tag is FaultTag.HANG_CRASH for m in matches)
+
+    def test_add_is_idempotent(self):
+        dictionary = FailureDictionary.from_seeds()
+        before = len(dictionary)
+        entry = dictionary.entries[0]
+        dictionary.add(DictionaryEntry(
+            phrase=entry.phrase, tag=entry.tag, weight=1.0,
+            source="seed"))
+        assert len(dictionary) == before
+
+    def test_build_learns_new_phrases(self, corpus):
+        texts = [r.description
+                 for r in corpus.truth_disengagements()][:2000]
+        built = FailureDictionary.build(texts)
+        seeds = FailureDictionary.from_seeds()
+        assert len(built) > len(seeds)
+        assert any(e.source == "learned" for e in built.entries)
+
+    def test_boilerplate_not_learned(self, corpus):
+        texts = [r.description for r in corpus.truth_disengagements()]
+        built = FailureDictionary.build(texts)
+        for entry in built.entries:
+            # The universal tail must never become a tag phrase.
+            assert "resumed" not in entry.phrase
+
+
+class TestVotingTagger:
+    @pytest.fixture(scope="class")
+    def tagger(self):
+        return VotingTagger(FailureDictionary.from_seeds())
+
+    @pytest.mark.parametrize("text,tag", [
+        ("Software module froze. Driver safely disengaged.",
+         FaultTag.SOFTWARE),
+        ("The AV didn't see the lead vehicle", FaultTag.RECOGNITION_SYSTEM),
+        ("Disengage for a recklessly behaving road user",
+         FaultTag.ENVIRONMENT),
+        ("Takeover-Request — watchdog error", FaultTag.HANG_CRASH),
+        ("LIDAR failed to localize in time", FaultTag.SENSOR),
+        ("Data rate too high to be handled by the network",
+         FaultTag.NETWORK),
+        ("Processor overload on the compute platform",
+         FaultTag.COMPUTER_SYSTEM),
+        ("AV was not designed to handle an unprotected left turn",
+         FaultTag.DESIGN_BUG),
+        ("Incorrect behavior prediction of an adjacent vehicle",
+         FaultTag.INCORRECT_BEHAVIOR_PREDICTION),
+        ("Planner failed to anticipate the other driver's behavior",
+         FaultTag.PLANNER),
+    ])
+    def test_table2_style_examples(self, tagger, text, tag):
+        assert tagger.tag(text).tag is tag
+
+    def test_unmatched_text_is_unknown(self, tagger):
+        result = tagger.tag("Driver disengaged")
+        assert result.tag is FaultTag.UNKNOWN
+        assert result.category is FailureCategory.UNKNOWN
+        assert not result.confident
+
+    def test_result_carries_scores_and_matches(self, tagger):
+        result = tagger.tag("Software module froze")
+        assert result.scores[FaultTag.SOFTWARE] > 0
+        assert result.matches
+
+    def test_tie_break_is_deterministic(self, tagger):
+        text = ("Software module froze — watchdog error — LIDAR "
+                "failed to localize in time")
+        results = {tagger.tag(text).tag for _ in range(5)}
+        assert len(results) == 1
+
+
+class TestFirstMatchTagger:
+    def test_takes_first_phrase(self):
+        tagger = FirstMatchTagger(FailureDictionary.from_seeds())
+        # "watchdog" appears first; software phrase later.
+        result = tagger.tag("watchdog error then software crash")
+        assert result.tag is FaultTag.HANG_CRASH
+
+    def test_unknown_on_no_match(self):
+        tagger = FirstMatchTagger(FailureDictionary.from_seeds())
+        assert tagger.tag("nothing here").tag is FaultTag.UNKNOWN
+
+
+class TestEvaluation:
+    def _records(self):
+        return [
+            DisengagementRecord(
+                manufacturer="X", month="2015-01",
+                description="Software module froze",
+                truth_tag=FaultTag.SOFTWARE),
+            DisengagementRecord(
+                manufacturer="X", month="2015-01",
+                description="watchdog error",
+                truth_tag=FaultTag.HANG_CRASH),
+            DisengagementRecord(
+                manufacturer="X", month="2015-01",
+                description="mysterious event",
+                truth_tag=FaultTag.SOFTWARE),
+        ]
+
+    def test_report_counts(self):
+        tagger = VotingTagger(FailureDictionary.from_seeds())
+        report = evaluate_tagger(tagger, self._records())
+        assert report.total == 3
+        assert report.correct_tag == 2
+        assert report.tag_accuracy == pytest.approx(2 / 3)
+
+    def test_category_accuracy_at_least_tag_accuracy(self):
+        tagger = VotingTagger(FailureDictionary.from_seeds())
+        report = evaluate_tagger(tagger, self._records())
+        assert report.category_accuracy >= report.tag_accuracy
+
+    def test_precision_recall(self):
+        tagger = VotingTagger(FailureDictionary.from_seeds())
+        report = evaluate_tagger(tagger, self._records())
+        assert report.recall(FaultTag.SOFTWARE) == pytest.approx(0.5)
+        assert report.precision(FaultTag.SOFTWARE) == pytest.approx(1.0)
+        assert 0 < report.f1(FaultTag.SOFTWARE) < 1
+
+    def test_confusions_reported(self):
+        tagger = VotingTagger(FailureDictionary.from_seeds())
+        report = evaluate_tagger(tagger, self._records())
+        confusions = dict(report.top_confusions())
+        assert confusions[(FaultTag.SOFTWARE, FaultTag.UNKNOWN)] == 1
+
+    def test_records_without_truth_skipped(self):
+        tagger = VotingTagger(FailureDictionary.from_seeds())
+        records = [DisengagementRecord(
+            manufacturer="X", month="2015-01", description="abc")]
+        assert evaluate_tagger(tagger, records).total == 0
+
+
+class TestOntology:
+    def test_validate_passes(self):
+        Ontology().validate()
+
+    def test_category_lookup(self):
+        ontology = Ontology()
+        assert ontology.category(
+            FaultTag.SOFTWARE) is FailureCategory.SYSTEM
+
+    def test_definitions_nonempty(self):
+        ontology = Ontology()
+        for tag in ontology.tags():
+            assert ontology.definition(tag)
+
+    def test_tags_in_category(self):
+        ontology = Ontology()
+        system_tags = ontology.tags_in(FailureCategory.SYSTEM)
+        assert FaultTag.SOFTWARE in system_tags
+        assert FaultTag.PLANNER not in system_tags

@@ -1,0 +1,212 @@
+"""Tests for the OCR substrate: confusion channel, scanner, engine,
+correction, and manual fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OcrError
+from repro.ocr import (
+    ConfusionModel,
+    ManualTranscriptionQueue,
+    OcrCorrector,
+    OcrEngine,
+    Scanner,
+    ScannerProfile,
+    apply_fallback,
+)
+from repro.ocr.document import (
+    LINES_PER_PAGE,
+    ScannedPage,
+    page_count,
+    paginate,
+)
+from repro.ocr.scanner import PERFECT_PROFILE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConfusionModel:
+    def test_perfect_quality_is_lossless(self, rng):
+        model = ConfusionModel()
+        line = "Software module froze. 1/4/16 — 1:25 PM"
+        text, corruptions = model.corrupt_line(line, 1.0, rng)
+        assert text == line
+        assert corruptions == 0
+
+    def test_low_quality_corrupts(self, rng):
+        model = ConfusionModel()
+        line = "Software module froze and the driver disengaged" * 3
+        text, corruptions = model.corrupt_line(line, 0.1, rng)
+        assert corruptions > 0
+        assert text != line
+
+    def test_protected_separators_survive(self, rng):
+        model = ConfusionModel()
+        line = "a — b | c; d"
+        for _ in range(50):
+            text, _ = model.corrupt_line(line, 0.05, rng)
+            assert text.count("—") == 1
+            assert text.count("|") == 1
+            assert text.count(";") == 1
+
+    def test_digits_and_punctuation_never_dropped(self, rng):
+        model = ConfusionModel()
+        line = "12:34:56 0.75"
+        for _ in range(100):
+            text, _ = model.corrupt_line(line, 0.05, rng)
+            # Substitutions may change glyphs but length is preserved
+            # because only letters can be dropped.
+            assert len(text) == len(line)
+
+    def test_corruption_count_matches_reported(self, rng):
+        model = ConfusionModel(drop_rate=0.0)
+        line = "O0O0O0O0O0" * 4
+        text, corruptions = model.corrupt_line(line, 0.2, rng)
+        differing = sum(1 for a, b in zip(line, text) if a != b)
+        assert differing == corruptions
+
+
+class TestScanner:
+    def test_page_qualities_in_range(self, rng):
+        scanner = Scanner()
+        document = scanner.scan("doc", ["line"] * 500, rng)
+        for page in document.pages:
+            assert 0.0 < page.quality <= 1.0
+
+    def test_bad_pages_appear_at_configured_rate(self, rng):
+        profile = ScannerProfile(bad_page_rate=0.5)
+        scanner = Scanner(profile)
+        document = scanner.scan("doc", ["line"] * (LINES_PER_PAGE * 200),
+                                rng)
+        bad = sum(1 for p in document.pages if p.quality < 0.5)
+        assert 0.3 < bad / len(document.pages) < 0.7
+
+    def test_perfect_profile_never_degrades(self, rng):
+        scanner = Scanner(PERFECT_PROFILE)
+        document = scanner.scan("doc", ["line"] * 200, rng)
+        assert all(p.quality > 0.99 for p in document.pages)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(OcrError):
+            ScannerProfile(bad_page_rate=1.5)
+        with pytest.raises(OcrError):
+            ScannerProfile(bad_low=0.9, bad_high=0.2)
+
+
+class TestDocumentModel:
+    def test_page_count(self):
+        assert page_count(0) == 1
+        assert page_count(1) == 1
+        assert page_count(LINES_PER_PAGE) == 1
+        assert page_count(LINES_PER_PAGE + 1) == 2
+
+    def test_paginate_partitions_lines(self):
+        lines = [f"line {i}" for i in range(95)]
+        qualities = [0.9] * page_count(len(lines))
+        document = paginate("doc", lines, qualities)
+        assert document.line_count == 95
+        assert document.true_lines() == lines
+
+    def test_paginate_rejects_missing_qualities(self):
+        with pytest.raises(OcrError):
+            paginate("doc", ["x"] * 100, [0.9])
+
+    def test_page_rejects_bad_quality(self):
+        with pytest.raises(OcrError):
+            ScannedPage(page_number=0, true_lines=["x"], quality=0.0)
+
+
+class TestEngine:
+    def test_recognize_preserves_line_count(self, rng):
+        scanner = Scanner()
+        lines = [f"event number {i} happened" for i in range(100)]
+        document = scanner.scan("doc", lines, rng)
+        result = OcrEngine().recognize(document, rng)
+        assert len(result.lines) == len(lines)
+
+    def test_confidence_tracks_quality(self, rng):
+        engine = OcrEngine()
+        line = "The AV did not see the lead vehicle ahead" * 2
+        good = paginate("good", [line] * 40, [0.98])
+        bad = paginate("bad", [line] * 40, [0.15])
+        good_conf = engine.recognize(good, rng).mean_confidence
+        bad_conf = engine.recognize(bad, rng).mean_confidence
+        assert good_conf > bad_conf + 0.2
+
+    def test_empty_document(self, rng):
+        result = OcrEngine().recognize(
+            paginate("doc", [], []), rng)
+        assert result.lines == []
+        assert result.mean_confidence == 1.0
+
+
+class TestCorrector:
+    @pytest.fixture(scope="class")
+    def corrector(self):
+        return OcrCorrector()
+
+    def test_numeric_span_repair(self, corrector):
+        assert corrector.correct_line("O3/l4/2O15") == "03/14/2015"
+
+    def test_word_repair_unique_candidate(self, corrector):
+        assert "disengaged" in corrector.correct_line(
+            "driver disengagcd safely")
+
+    def test_known_words_untouched(self, corrector):
+        line = "Software module froze"
+        assert corrector.correct_line(line) == line
+
+    def test_month_abbreviations_protected(self, corrector):
+        # "Sep" must not be "repaired" into "See".
+        assert corrector.correct_line("Sep-14") == "Sep-14"
+
+    def test_digit_in_word_repair(self, corrector):
+        assert corrector.correct_line("p1anned test") == "planned test"
+        assert corrector.correct_line("SECTI0N 2") == "SECTION 2"
+
+    def test_digraph_repair(self, corrector):
+        assert corrector.correct_line(
+            "Autonornous miles") == "Autonomous miles"
+
+    def test_vehicle_ids_not_mangled(self, corrector):
+        line = "Autonomous miles May-16 car AV-001: 28342.1"
+        assert corrector.correct_line(line) == line
+
+    def test_ambiguous_words_left_alone(self, corrector):
+        # "cor" could be car/for/nor...: too ambiguous to repair.
+        assert corrector.correct_line("cor") == "cor"
+
+
+class TestFallback:
+    def test_low_confidence_pages_get_transcribed(self, rng):
+        lines = ["The perception system failed to detect a cyclist"] * 80
+        scanner = Scanner(ScannerProfile(bad_page_rate=1.0,
+                                         bad_low=0.05, bad_high=0.1))
+        document = scanner.scan("doc", lines, rng)
+        result = OcrEngine().recognize(document, rng)
+        queue = ManualTranscriptionQueue(threshold=0.75)
+        merged = apply_fallback(document, result, queue)
+        assert merged == lines  # human transcription restores truth
+        assert queue.pages_transcribed == len(document.pages)
+
+    def test_high_confidence_pages_keep_ocr_text(self, rng):
+        lines = ["clean text line"] * 40
+        document = paginate("doc", lines, [1.0])
+        result = OcrEngine().recognize(document, rng)
+        queue = ManualTranscriptionQueue(threshold=0.5)
+        merged = apply_fallback(document, result, queue)
+        assert queue.pages_transcribed == 0
+        assert len(merged) == 40
+
+    def test_queue_accounts_effort(self, rng):
+        lines = ["text"] * 80
+        document = paginate("doc", lines, [0.1, 0.95])
+        result = OcrEngine().recognize(document, rng)
+        queue = ManualTranscriptionQueue(threshold=0.75)
+        apply_fallback(document, result, queue)
+        assert queue.pages_transcribed == 1
+        assert queue.lines_transcribed == 40
+        assert queue.documents_touched == {"doc"}

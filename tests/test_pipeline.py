@@ -1,0 +1,143 @@
+"""Tests for pipeline configuration, the failure database store, and
+the end-to-end runner."""
+
+import pytest
+
+from repro.pipeline import (
+    FailureDatabase,
+    PipelineConfig,
+    process_corpus,
+    run_pipeline,
+)
+from repro.synth import generate_corpus
+from repro.taxonomy import FaultTag, Modality
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PipelineConfig()
+        assert config.ocr_enabled
+        assert config.correction_enabled
+        assert config.dictionary_mode == "expanded"
+        assert not config.drop_planned
+
+    def test_invalid_dictionary_mode(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(dictionary_mode="telepathy")
+
+
+class TestStore:
+    def test_grouping_helpers(self, db):
+        grouped = db.disengagements_by_manufacturer()
+        assert sum(len(v) for v in grouped.values()) == \
+            len(db.disengagements)
+        miles = db.miles_by_manufacturer()
+        assert sum(miles.values()) == pytest.approx(db.total_miles)
+
+    def test_monthly_views_consistent(self, db):
+        total = sum(db.monthly_miles("Waymo").values())
+        assert total == pytest.approx(
+            db.miles_by_manufacturer()["Waymo"])
+        events = sum(db.monthly_disengagements("Waymo").values())
+        assert events == len(
+            db.disengagements_by_manufacturer()["Waymo"])
+
+    def test_vehicle_views(self, db):
+        vehicle_miles = db.vehicle_miles("Nissan")
+        assert vehicle_miles
+        assert all(m > 0 for m in vehicle_miles.values())
+
+    def test_reaction_time_filters(self, db):
+        all_times = db.reaction_times()
+        waymo_times = db.reaction_times("Waymo")
+        assert len(waymo_times) < len(all_times)
+        assert all(t > 0 for t in all_times)
+
+    def test_json_roundtrip(self, db):
+        clone = FailureDatabase.from_json(db.to_json())
+        assert len(clone.disengagements) == len(db.disengagements)
+        assert len(clone.accidents) == len(db.accidents)
+        assert clone.total_miles == pytest.approx(db.total_miles)
+        original = db.disengagements[0]
+        restored = clone.disengagements[0]
+        assert restored.manufacturer == original.manufacturer
+        assert restored.tag == original.tag
+        assert restored.modality == original.modality
+        assert restored.event_date == original.event_date
+
+    def test_save_load(self, db, tmp_path):
+        path = tmp_path / "database.json"
+        db.save(path)
+        clone = FailureDatabase.load(path)
+        assert len(clone.disengagements) == len(db.disengagements)
+
+
+class TestRunner:
+    def test_full_run_recovers_most_records(self, corpus,
+                                            pipeline_result):
+        db = pipeline_result.database
+        truth = len(corpus.truth_disengagements())
+        assert len(db.disengagements) >= 0.98 * truth
+        assert len(db.accidents) == 42
+        assert db.total_miles == pytest.approx(1116605, rel=0.03)
+
+    def test_all_records_tagged(self, db):
+        assert all(r.tag is not None for r in db.disengagements)
+        assert all(r.category is not None for r in db.disengagements)
+
+    def test_tagging_accuracy_high(self, pipeline_result):
+        report = pipeline_result.diagnostics.tagging
+        assert report is not None
+        assert report.tag_accuracy > 0.95
+        assert report.category_accuracy > 0.95
+
+    def test_diagnostics_populated(self, pipeline_result):
+        diagnostics = pipeline_result.diagnostics
+        assert diagnostics.ocr.documents > 0
+        assert diagnostics.ocr.mean_confidence > 0.9
+        assert diagnostics.parse.disengagements_parsed > 5000
+        assert diagnostics.dictionary_entries > 100
+        assert diagnostics.filters.planned_annotated > 2000
+
+    def test_ocr_disabled_is_lossless(self):
+        corpus = generate_corpus(seed=5, manufacturers=["Nissan"])
+        config = PipelineConfig(seed=5, ocr_enabled=False)
+        result = process_corpus(corpus, config)
+        assert len(result.database.disengagements) == 135
+        assert result.database.total_miles == pytest.approx(
+            5584.4, rel=1e-3)
+
+    def test_seed_dictionary_mode(self):
+        corpus = generate_corpus(seed=5, manufacturers=["Nissan"])
+        config = PipelineConfig(seed=5, ocr_enabled=False,
+                                dictionary_mode="seed")
+        result = process_corpus(corpus, config)
+        assert result.diagnostics.tagging.tag_accuracy > 0.9
+
+    def test_drop_planned_removes_bosch(self):
+        corpus = generate_corpus(seed=5, manufacturers=["Bosch"])
+        config = PipelineConfig(seed=5, ocr_enabled=False,
+                                drop_planned=True)
+        result = process_corpus(corpus, config)
+        assert result.database.disengagements == []
+
+    def test_truth_attachment_alignment(self, db):
+        # Every record with truth must have been matched by line, and
+        # the narrative-based tag should usually agree.
+        with_truth = [r for r in db.disengagements
+                      if r.truth_tag is not None]
+        assert len(with_truth) >= 0.99 * len(db.disengagements)
+
+    def test_run_pipeline_wrapper(self):
+        result = run_pipeline(PipelineConfig(
+            seed=11, manufacturers=["Tesla"]))
+        db = result.database
+        assert set(db.manufacturers()) == {"Tesla"}
+        assert len(db.disengagements) >= 175  # 182 minus OCR residue
+        unknown = sum(1 for r in db.disengagements
+                      if r.tag is FaultTag.UNKNOWN)
+        assert unknown / len(db.disengagements) > 0.9
+
+    def test_modalities_preserved_through_pipeline(self, db):
+        bosch = db.disengagements_by_manufacturer()["Bosch"]
+        assert all(r.modality is Modality.PLANNED for r in bosch)

@@ -1,0 +1,67 @@
+"""Property-based tests for the trip simulator and related models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    DriverConfig,
+    SimulatorConfig,
+    TrafficConfig,
+    simulate_fleet,
+)
+
+_dpm = st.floats(min_value=0.0, max_value=0.5)
+_probability = st.floats(min_value=0.0, max_value=1.0)
+_positive = st.floats(min_value=0.1, max_value=10.0)
+_seed = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+class TestSimulatorProperties:
+    @given(dpm=_dpm, seed=_seed)
+    @settings(max_examples=25, deadline=None)
+    def test_counts_are_consistent(self, dpm, seed):
+        fleet = simulate_fleet(SimulatorConfig(dpm=dpm), trips=100,
+                               seed=seed)
+        assert fleet.trips == 100
+        assert fleet.miles > 0
+        assert 0 <= fleet.proactive_disengagements \
+            <= fleet.disengagements
+        assert fleet.accidents == (fleet.reaction_accidents
+                                   + fleet.anticipation_accidents)
+        assert len(fleet.windows) == fleet.disengagements
+
+    @given(conflict=_probability, budget=_positive, seed=_seed)
+    @settings(max_examples=25, deadline=None)
+    def test_reaction_accidents_bounded_by_disengagements(
+            self, conflict, budget, seed):
+        config = SimulatorConfig(
+            dpm=0.05,
+            traffic=TrafficConfig(conflict_probability=conflict,
+                                  mean_time_budget_s=budget))
+        fleet = simulate_fleet(config, trips=200, seed=seed)
+        assert fleet.reaction_accidents <= fleet.disengagements
+
+    @given(share=_probability, seed=_seed)
+    @settings(max_examples=25, deadline=None)
+    def test_manual_share_bounded(self, share, seed):
+        config = SimulatorConfig(
+            dpm=0.1,
+            driver=DriverConfig(proactive_share=share))
+        fleet = simulate_fleet(config, trips=200, seed=seed)
+        assert 0.0 <= fleet.manual_share <= 1.0
+
+    @given(seed=_seed)
+    @settings(max_examples=15, deadline=None)
+    def test_windows_are_positive(self, seed):
+        fleet = simulate_fleet(SimulatorConfig(dpm=0.1), trips=100,
+                               seed=seed)
+        assert all(w > 0 for w in fleet.windows)
+
+    @given(dpm=st.floats(min_value=0.01, max_value=0.3), seed=_seed)
+    @settings(max_examples=15, deadline=None)
+    def test_dpm_estimate_tracks_configuration(self, dpm, seed):
+        fleet = simulate_fleet(SimulatorConfig(dpm=dpm), trips=2000,
+                               seed=seed)
+        # Poisson sampling: the realized rate concentrates around the
+        # configured one (loose 3-sigma style bound).
+        assert abs(fleet.dpm - dpm) < 0.3 * dpm + 0.005

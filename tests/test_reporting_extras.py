@@ -1,0 +1,77 @@
+"""Tests for the extension exhibits and time-of-day breakdown."""
+
+import pytest
+
+from repro.analysis.conditions import time_of_day_breakdown
+from repro.errors import InsufficientDataError
+from repro.reporting.extras import (
+    census_table,
+    conditions_table,
+    fault_injection_table,
+    simulator_table,
+)
+
+
+class TestTimeOfDay:
+    def test_counts_by_hour(self, db):
+        hours = time_of_day_breakdown(db)
+        assert set(hours) <= set(range(24))
+        assert sum(hours.values()) > 1000
+
+    def test_testing_is_diurnal(self, db):
+        hours = time_of_day_breakdown(db)
+        total = sum(hours.values())
+        daytime = sum(hours.get(h, 0) for h in range(8, 19))
+        assert daytime / total > 0.7
+
+    def test_manufacturer_without_timestamps(self, db):
+        with pytest.raises(InsufficientDataError):
+            time_of_day_breakdown(db, "Waymo")  # month-only reports
+
+
+class TestExtensionTables:
+    def test_census_table(self, db):
+        table = census_table(db)
+        waymo = table.row_for("Waymo")
+        assert waymo is not None
+        # Waymo reports no per-event dates (month granularity).
+        date_index = table.columns.index("event date")
+        assert waymo[date_index] == 0.0
+
+    def test_conditions_table(self, db):
+        table = conditions_table(db)
+        kinds = set(table.column("Condition"))
+        assert {"road type", "weather", "hour of day"} <= kinds
+
+    def test_fault_injection_table(self, db):
+        table = fault_injection_table(db, injections=100)
+        assert len(table.rows) >= 5
+        for row in table.rows:
+            assert 0.0 <= row[1] <= 1.0
+
+    def test_simulator_table(self, db):
+        table = simulator_table(db, trips=4000)
+        names = [row[0] for row in table.rows]
+        assert "Delphi" in names
+        delphi = table.row_for("Delphi")
+        # Simulated DPM tracks field DPM.
+        assert delphi[2] == pytest.approx(delphi[1], rel=0.3)
+
+    def test_year_over_year_table(self, db):
+        from repro.reporting.extras import year_over_year_table
+
+        table = year_over_year_table(db)
+        waymo = table.row_for("Waymo")
+        assert waymo is not None
+        assert waymo[4] == "down"       # DPM fell
+        assert waymo[5] is True         # improving
+        bosch = table.row_for("Bosch")
+        assert bosch[4] == "up"
+
+    def test_extension_experiments_run(self, db):
+        from repro.reporting import run_experiment
+
+        for experiment_id in ("ext-census", "ext-conditions",
+                              "ext-yoy"):
+            exhibit = run_experiment(experiment_id, db)
+            assert exhibit.render().strip()

@@ -1,0 +1,47 @@
+"""Fast tests for the across-seed sensitivity sweep (small subset)."""
+
+import pytest
+
+from repro.analysis.validity import SeedSweepResult, seed_sensitivity
+from repro.errors import InsufficientDataError
+
+SUBSET = ["Nissan", "Volkswagen"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return seed_sensitivity([11, 12], manufacturers=SUBSET)
+
+
+def test_sweep_covers_headline_metrics(sweep):
+    assert {"ml_design_share", "perception_share", "pooled_r",
+            "mean_reaction_time_s", "tag_accuracy"} == set(sweep)
+
+
+def test_each_metric_has_one_value_per_seed(sweep):
+    for result in sweep.values():
+        assert len(result.values) == 2
+
+
+def test_statistics_consistent(sweep):
+    for result in sweep.values():
+        assert min(result.values) <= result.mean <= max(result.values)
+        assert result.spread >= 0
+        assert result.std >= 0
+
+
+def test_tag_accuracy_stable_across_seeds(sweep):
+    accuracy = sweep["tag_accuracy"]
+    assert accuracy.mean > 0.9
+    assert accuracy.spread < 0.1
+
+
+def test_single_value_has_zero_std():
+    result = SeedSweepResult(metric="m", values=(1.0,))
+    assert result.std == 0.0
+    assert result.spread == 0.0
+
+
+def test_empty_seed_list_rejected():
+    with pytest.raises(InsufficientDataError):
+        seed_sensitivity([])

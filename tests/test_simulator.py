@@ -1,0 +1,150 @@
+"""Tests for the trip-level micro-simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, InsufficientDataError
+from repro.simulator import (
+    DriverConfig,
+    SimulatorConfig,
+    TrafficConfig,
+    calibrate_from_database,
+    simulate_fleet,
+    simulate_trip,
+)
+
+
+class TestConfigs:
+    def test_defaults_valid(self):
+        SimulatorConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"reaction_scale": 0.0},
+        {"alertness_factor": 0.0},
+        {"proactive_share": 1.5},
+    ])
+    def test_driver_validation(self, kwargs):
+        with pytest.raises(AnalysisError):
+            DriverConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"conflict_probability": -0.1},
+        {"mean_time_budget_s": 0.0},
+        {"mean_detection_latency_s": -1.0},
+        {"anticipation_accident_rate_per_mile": -1e-9},
+    ])
+    def test_traffic_validation(self, kwargs):
+        with pytest.raises(AnalysisError):
+            TrafficConfig(**kwargs)
+
+    def test_simulator_validation(self):
+        with pytest.raises(AnalysisError):
+            SimulatorConfig(dpm=-1.0)
+        with pytest.raises(AnalysisError):
+            SimulatorConfig(median_trip_miles=0.0)
+
+
+class TestEngine:
+    def test_zero_dpm_no_disengagements(self):
+        fleet = simulate_fleet(SimulatorConfig(dpm=0.0), trips=200,
+                               seed=0)
+        assert fleet.disengagements == 0
+        assert fleet.reaction_accidents == 0
+
+    def test_trip_miles_positive(self):
+        config = SimulatorConfig()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert simulate_trip(config, rng).miles > 0
+
+    def test_fleet_dpm_matches_configured_rate(self):
+        config = SimulatorConfig(dpm=0.05)
+        fleet = simulate_fleet(config, trips=3000, seed=1)
+        assert fleet.dpm == pytest.approx(0.05, rel=0.15)
+
+    def test_median_trip_length_respected(self):
+        config = SimulatorConfig(median_trip_miles=10.0,
+                                 trip_sigma=0.8)
+        fleet = simulate_fleet(config, trips=3000, seed=2)
+        assert fleet.miles / fleet.trips == pytest.approx(
+            10.0 * np.exp(0.8 ** 2 / 2), rel=0.2)  # lognormal mean
+
+    def test_manual_share_matches_driver_config(self):
+        config = SimulatorConfig(
+            dpm=0.05, driver=DriverConfig(proactive_share=0.8))
+        fleet = simulate_fleet(config, trips=2000, seed=3)
+        assert fleet.manual_share == pytest.approx(0.8, abs=0.05)
+
+    def test_less_alert_driver_has_more_accidents(self):
+        base = SimulatorConfig(
+            dpm=0.05,
+            traffic=TrafficConfig(conflict_probability=0.5,
+                                  mean_time_budget_s=1.0))
+        tired = SimulatorConfig(
+            dpm=0.05,
+            driver=DriverConfig(alertness_factor=4.0),
+            traffic=base.traffic)
+        alert_fleet = simulate_fleet(base, trips=3000, seed=4)
+        tired_fleet = simulate_fleet(tired, trips=3000, seed=4)
+        assert tired_fleet.reaction_accidents > \
+            alert_fleet.reaction_accidents
+        assert tired_fleet.mean_window_s > alert_fleet.mean_window_s
+
+    def test_anticipation_channel_independent_of_dpm(self):
+        config = SimulatorConfig(
+            dpm=0.0,
+            traffic=TrafficConfig(
+                anticipation_accident_rate_per_mile=0.01))
+        fleet = simulate_fleet(config, trips=2000, seed=5)
+        assert fleet.disengagements == 0
+        assert fleet.anticipation_accidents > 0
+        assert fleet.apm == pytest.approx(0.01, rel=0.25)
+
+    def test_no_conflicts_no_reaction_accidents(self):
+        config = SimulatorConfig(
+            dpm=0.1,
+            traffic=TrafficConfig(conflict_probability=0.0))
+        fleet = simulate_fleet(config, trips=1000, seed=6)
+        assert fleet.disengagements > 0
+        assert fleet.reaction_accidents == 0
+
+    def test_deterministic_per_seed(self):
+        config = SimulatorConfig(dpm=0.02)
+        a = simulate_fleet(config, trips=500, seed=7)
+        b = simulate_fleet(config, trips=500, seed=7)
+        assert a.disengagements == b.disengagements
+        assert a.accidents == b.accidents
+
+    def test_invalid_trip_count(self):
+        with pytest.raises(AnalysisError):
+            simulate_fleet(SimulatorConfig(), trips=0)
+
+
+class TestCalibration:
+    def test_calibrated_dpm_matches_field(self, db):
+        config = calibrate_from_database(db, "Nissan")
+        field_dpm = (len(db.disengagements_by_manufacturer()["Nissan"])
+                     / db.miles_by_manufacturer()["Nissan"])
+        assert config.dpm == pytest.approx(field_dpm, rel=1e-6)
+
+    def test_calibrated_proactive_share(self, db):
+        config = calibrate_from_database(db, "Nissan")
+        # Table V: Nissan ~45.8% manual.
+        assert config.driver.proactive_share == pytest.approx(
+            0.458, abs=0.08)
+
+    def test_simulated_dpa_same_order_as_field(self, db):
+        config = calibrate_from_database(db, "Delphi")
+        fleet = simulate_fleet(config, trips=40000, seed=8)
+        assert fleet.dpa is not None
+        # Field DPA 572; one order of magnitude is the bar for a
+        # single-accident observation.
+        assert 100 <= fleet.dpa <= 4000
+
+    def test_manufacturer_without_reaction_times(self, db):
+        with pytest.raises(InsufficientDataError):
+            calibrate_from_database(db, "GMCruise")
+
+    def test_unknown_manufacturer(self, db):
+        with pytest.raises(InsufficientDataError):
+            calibrate_from_database(db, "Nonexistent Motors")

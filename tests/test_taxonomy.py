@@ -1,0 +1,95 @@
+"""Tests for the fault taxonomy (Table III)."""
+
+import pytest
+
+from repro.taxonomy import (
+    ML_SUBCATEGORY,
+    TAG_CATEGORY,
+    TAG_DEFINITIONS,
+    FailureCategory,
+    FaultTag,
+    MlSubcategory,
+    category_of,
+    ml_subcategory_of,
+    tags_in_category,
+)
+
+
+def test_every_tag_has_a_category():
+    for tag in FaultTag:
+        assert tag in TAG_CATEGORY
+
+
+def test_every_tag_has_a_definition():
+    for tag in FaultTag:
+        assert TAG_DEFINITIONS[tag]
+
+
+def test_unknown_tag_maps_to_unknown_category():
+    assert category_of(FaultTag.UNKNOWN) is FailureCategory.UNKNOWN
+
+
+def test_av_controller_splits_by_situation():
+    # Table III: "System" when unresponsive, "ML/Design" on wrong
+    # decisions.
+    assert category_of(
+        FaultTag.AV_CONTROLLER_UNRESPONSIVE) is FailureCategory.SYSTEM
+    assert category_of(
+        FaultTag.AV_CONTROLLER_DECISION) is FailureCategory.ML_DESIGN
+
+
+def test_av_controller_tags_share_display_name():
+    assert (FaultTag.AV_CONTROLLER_UNRESPONSIVE.display_name
+            == FaultTag.AV_CONTROLLER_DECISION.display_name
+            == "AV Controller")
+
+
+def test_environment_is_perception_side():
+    # Footnote 5: external fault sources count as perception-related.
+    assert category_of(FaultTag.ENVIRONMENT) is FailureCategory.ML_DESIGN
+    assert ml_subcategory_of(
+        FaultTag.ENVIRONMENT) is MlSubcategory.PERCEPTION
+
+
+def test_ml_subcategories_only_cover_ml_tags():
+    for tag in ML_SUBCATEGORY:
+        assert TAG_CATEGORY[tag] is FailureCategory.ML_DESIGN
+
+
+def test_every_ml_tag_has_a_subcategory():
+    for tag in tags_in_category(FailureCategory.ML_DESIGN):
+        assert ml_subcategory_of(tag) is not None
+
+
+def test_non_ml_tags_have_no_subcategory():
+    assert ml_subcategory_of(FaultTag.SOFTWARE) is None
+    assert ml_subcategory_of(FaultTag.UNKNOWN) is None
+
+
+@pytest.mark.parametrize("tag,category", [
+    (FaultTag.SOFTWARE, FailureCategory.SYSTEM),
+    (FaultTag.HANG_CRASH, FailureCategory.SYSTEM),
+    (FaultTag.SENSOR, FailureCategory.SYSTEM),
+    (FaultTag.NETWORK, FailureCategory.SYSTEM),
+    (FaultTag.COMPUTER_SYSTEM, FailureCategory.SYSTEM),
+    (FaultTag.PLANNER, FailureCategory.ML_DESIGN),
+    (FaultTag.RECOGNITION_SYSTEM, FailureCategory.ML_DESIGN),
+    (FaultTag.DESIGN_BUG, FailureCategory.ML_DESIGN),
+    (FaultTag.INCORRECT_BEHAVIOR_PREDICTION, FailureCategory.ML_DESIGN),
+])
+def test_table3_category_assignments(tag, category):
+    assert category_of(tag) is category
+
+
+def test_tags_in_category_partitions_tag_set():
+    union = set()
+    for category in FailureCategory:
+        tags = set(tags_in_category(category))
+        assert not union & tags
+        union |= tags
+    assert union == set(FaultTag)
+
+
+def test_display_name_matches_value_for_plain_tags():
+    assert FaultTag.SOFTWARE.display_name == "Software"
+    assert FaultTag.UNKNOWN.display_name == "Unknown-T"
