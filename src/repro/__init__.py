@@ -26,6 +26,7 @@ Quickstart::
 from .errors import (
     AnalysisError,
     CalibrationError,
+    DegradedModeWarning,
     FieldCoercionError,
     InsufficientDataError,
     NlpError,
@@ -33,15 +34,21 @@ from .errors import (
     OntologyError,
     ParseError,
     PipelineError,
+    QuarantinedError,
     ReproError,
     StpaError,
     SynthesisError,
+    TransientError,
     UnknownFormatError,
 )
 from .pipeline import (
+    ChaosConfig,
     FailureDatabase,
+    FailurePolicy,
     PipelineConfig,
     PipelineResult,
+    Quarantine,
+    RunHealth,
     process_corpus,
     run_pipeline,
 )
@@ -57,9 +64,13 @@ __all__ = [
     "FailureCategory",
     "FaultTag",
     "Modality",
+    "ChaosConfig",
     "FailureDatabase",
+    "FailurePolicy",
     "PipelineConfig",
     "PipelineResult",
+    "Quarantine",
+    "RunHealth",
     "SyntheticCorpus",
     "generate_corpus",
     "process_corpus",
@@ -76,6 +87,9 @@ __all__ = [
     "OntologyError",
     "StpaError",
     "PipelineError",
+    "TransientError",
+    "QuarantinedError",
+    "DegradedModeWarning",
     "AnalysisError",
     "InsufficientDataError",
 ]

@@ -20,11 +20,14 @@ from pathlib import Path
 
 from . import __version__
 from .pipeline import (
+    ChaosConfig,
     FailureDatabase,
     PipelineConfig,
     process_corpus,
     run_pipeline,
 )
+from .pipeline.chaos import CHAOS_KINDS
+from .pipeline.resilience import POLICY_MODES
 from .rng import DEFAULT_SEED
 
 
@@ -42,9 +45,36 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         help="failure-dictionary mode")
     parser.add_argument("--drop-planned", action="store_true",
                         help="drop planned-test disengagements")
+    parser.add_argument("--failure-policy", choices=POLICY_MODES,
+                        default="quarantine",
+                        help="reaction to unexpected stage failures "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-error-rate", type=float, default=0.1,
+                        help="threshold mode: abort past this "
+                             "per-stage error rate "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="bounded retries for transient faults "
+                             "(default: %(default)s)")
+    parser.add_argument("--chaos-stage", default=None,
+                        choices=("ocr", "parse", "normalize",
+                                 "dictionary", "tag"),
+                        help="inject faults into this stage")
+    parser.add_argument("--chaos-rate", type=float, default=0.1,
+                        help="per-unit fault injection probability "
+                             "(default: %(default)s)")
+    parser.add_argument("--chaos-kind", choices=CHAOS_KINDS,
+                        default="exception",
+                        help="kind of fault to inject "
+                             "(default: %(default)s)")
 
 
 def _config_from(args: argparse.Namespace) -> PipelineConfig:
+    chaos = None
+    if args.chaos_stage is not None:
+        chaos = ChaosConfig(stage=args.chaos_stage,
+                            rate=args.chaos_rate,
+                            kind=args.chaos_kind)
     return PipelineConfig(
         seed=args.seed,
         manufacturers=args.manufacturers,
@@ -52,6 +82,10 @@ def _config_from(args: argparse.Namespace) -> PipelineConfig:
         correction_enabled=not args.no_correction,
         dictionary_mode=args.dictionary,
         drop_planned=args.drop_planned,
+        failure_policy=args.failure_policy,
+        max_error_rate=args.max_error_rate,
+        max_retries=args.max_retries,
+        chaos=chaos,
     )
 
 
@@ -67,6 +101,10 @@ def _print_run_summary(result) -> None:
     if diagnostics.tagging is not None:
         print(f"tag accuracy:   "
               f"{diagnostics.tagging.tag_accuracy:.2%}")
+    from .reporting.summary import render_run_health
+
+    print(render_run_health(diagnostics.health,
+                            result.database.quarantine))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

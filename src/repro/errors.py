@@ -67,6 +67,39 @@ class PipelineError(ReproError):
     """A pipeline stage failed or stages were run out of order."""
 
 
+class TransientError(ReproError):
+    """A stage failed in a way that may succeed on retry.
+
+    Raise (or translate into) this class to opt a failure into the
+    resilience layer's bounded-retry path; anything else is treated as
+    permanent and goes straight to the failure policy.
+    """
+
+
+class QuarantinedError(PipelineError):
+    """A unit of work was moved to the quarantine dead-letter store.
+
+    Raised by the resilience layer so the caller can skip the unit and
+    continue; the original exception is preserved as ``__cause__`` and
+    in the :class:`~repro.pipeline.resilience.QuarantineEntry`.
+    """
+
+    def __init__(self, message: str, *, unit_id: str | None = None,
+                 stage: str | None = None) -> None:
+        super().__init__(message)
+        self.unit_id = unit_id
+        self.stage = stage
+
+
+class DegradedModeWarning(UserWarning):
+    """The pipeline fell back to a reduced-fidelity mode.
+
+    A warning, not an error: the run continues, but an output was
+    produced by a fallback (e.g. the seed dictionary instead of the
+    corpus-expanded one) and downstream consumers may want to know.
+    """
+
+
 class AnalysisError(ReproError):
     """A statistical analysis was asked to operate on unusable data."""
 

@@ -3,19 +3,40 @@
 ``run_pipeline`` wires everything together: synthesize (or accept) a
 raw corpus, push it through the OCR channel, parse and normalize it,
 tag every narrative with the NLP engine, and assemble the consolidated
-failure database that the statistical analyses consume.
+failure database that the statistical analyses consume.  The
+:mod:`~repro.pipeline.resilience` layer isolates per-unit failures
+(quarantine, bounded retry, degraded modes) and the
+:mod:`~repro.pipeline.chaos` harness injects faults to prove it.
 """
 
+from .chaos import ChaosConfig, ChaosError, ChaosInjector
 from .config import PipelineConfig
+from .resilience import (
+    FailurePolicy,
+    Quarantine,
+    QuarantineEntry,
+    RunHealth,
+    StageGuard,
+    retry_with_backoff,
+)
 from .store import FailureDatabase
 from .stages import PipelineDiagnostics
 from .runner import PipelineResult, run_pipeline, process_corpus
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosInjector",
+    "FailurePolicy",
     "PipelineConfig",
     "FailureDatabase",
     "PipelineDiagnostics",
     "PipelineResult",
+    "Quarantine",
+    "QuarantineEntry",
+    "RunHealth",
+    "StageGuard",
+    "retry_with_backoff",
     "run_pipeline",
     "process_corpus",
 ]

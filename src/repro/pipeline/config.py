@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 from ..ocr.fallback import DEFAULT_CONFIDENCE_THRESHOLD
 from ..ocr.scanner import ScannerProfile
 from ..rng import DEFAULT_SEED
+from .chaos import ChaosConfig
+from .resilience import POLICY_MODES, FailurePolicy
 
 
 @dataclass
@@ -39,9 +41,30 @@ class PipelineConfig:
     drop_planned: bool = False
     #: Attach ground-truth tags to parsed records for evaluation.
     attach_truth: bool = True
+    #: How the run reacts to unexpected per-unit failures
+    #: (``fail_fast`` / ``quarantine`` / ``threshold``).
+    failure_policy: str = "quarantine"
+    #: ``threshold`` mode: abort once a stage's error rate exceeds
+    #: this fraction.
+    max_error_rate: float = 0.1
+    #: Bounded retries for transient stage faults.
+    max_retries: int = 2
+    #: Optional pipeline-level fault injection (testing/chaos runs).
+    chaos: ChaosConfig | None = None
 
     def __post_init__(self) -> None:
         if self.dictionary_mode not in ("seed", "expanded"):
             raise ValueError(
                 f"dictionary_mode must be 'seed' or 'expanded', got "
                 f"{self.dictionary_mode!r}")
+        if self.failure_policy not in POLICY_MODES:
+            raise ValueError(
+                f"failure_policy must be one of {POLICY_MODES}, got "
+                f"{self.failure_policy!r}")
+
+    def resolved_policy(self) -> FailurePolicy:
+        """The :class:`FailurePolicy` these knobs describe."""
+        return FailurePolicy(
+            mode=self.failure_policy,
+            max_error_rate=self.max_error_rate,
+            max_retries=self.max_retries)

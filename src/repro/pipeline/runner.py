@@ -1,10 +1,20 @@
-"""End-to-end pipeline orchestration (Fig. 1)."""
+"""End-to-end pipeline orchestration (Fig. 1).
+
+Every per-document and per-record step runs through a
+:class:`~repro.pipeline.resilience.StageGuard`, so one bad unit of
+work is retried, degraded, or quarantined according to the configured
+:class:`~repro.pipeline.resilience.FailurePolicy` instead of aborting
+the whole run.  A clean run draws no randomness from the guard, so
+resilient output is byte-identical to the historical unguarded
+pipeline.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from ..errors import ParseError
+from ..errors import DegradedModeWarning, ParseError, QuarantinedError
 from ..nlp.dictionary import FailureDictionary
 from ..nlp.evaluation import evaluate_tagger
 from ..nlp.tagger import VotingTagger
@@ -21,7 +31,10 @@ from ..parsing.normalize import (
 from ..rng import child_generator
 from ..synth.dataset import SyntheticCorpus, generate_corpus
 from ..synth.reports import RawDocument
+from ..taxonomy import FaultTag, category_of
+from .chaos import ChaosInjector
 from .config import PipelineConfig
+from .resilience import StageGuard
 from .stages import OcrStage, PipelineDiagnostics
 from .store import FailureDatabase
 
@@ -48,6 +61,13 @@ def process_corpus(corpus: SyntheticCorpus,
     config = config or PipelineConfig()
     diagnostics = PipelineDiagnostics()
     database = FailureDatabase()
+    guard = StageGuard(
+        policy=config.resolved_policy(),
+        seed=config.seed,
+        quarantine=database.quarantine,
+        chaos=(ChaosInjector(config.chaos, config.seed)
+               if config.chaos is not None else None))
+    diagnostics.health = guard.health
 
     ocr_stage = OcrStage(
         config.scanner_profile, config.correction_enabled,
@@ -57,12 +77,23 @@ def process_corpus(corpus: SyntheticCorpus,
     raw_disengagements = []
     raw_mileage = []
     for document in corpus.disengagement_documents:
-        lines = _through_ocr(document, ocr_stage, config, diagnostics)
         try:
-            parsed = registry.resolve(lines).parse(
-                lines, document.document_id)
+            lines = guard.run(
+                "ocr", document.document_id,
+                lambda: _through_ocr(document, ocr_stage, config,
+                                     diagnostics))
+        except QuarantinedError:
+            continue
+        try:
+            parsed = guard.run(
+                "parse", document.document_id,
+                lambda: registry.resolve(lines).parse(
+                    lines, document.document_id),
+                expected=(ParseError,))
         except ParseError:
-            diagnostics.parse.unparsed_lines += len(lines)
+            diagnostics.parse.unparsed_lines += _non_blank(lines)
+            continue
+        except QuarantinedError:
             continue
         diagnostics.parse.documents += 1
         diagnostics.parse.disengagements_parsed += len(
@@ -76,15 +107,32 @@ def process_corpus(corpus: SyntheticCorpus,
         raw_mileage.extend(parsed.mileage)
 
     for document in corpus.accident_documents:
-        lines = _through_ocr(document, ocr_stage, config, diagnostics)
         try:
-            accident = parse_accident_report(
-                lines, document.document_id)
+            lines = guard.run(
+                "ocr", document.document_id,
+                lambda: _through_ocr(document, ocr_stage, config,
+                                     diagnostics))
+        except QuarantinedError:
+            continue
+        try:
+            accident = guard.run(
+                "parse", document.document_id,
+                lambda: parse_accident_report(
+                    lines, document.document_id),
+                expected=(ParseError,))
         except ParseError:
-            diagnostics.parse.unparsed_lines += len(lines)
+            diagnostics.parse.unparsed_lines += _non_blank(lines)
+            continue
+        except QuarantinedError:
+            continue
+        try:
+            normalized_accident = guard.run(
+                "normalize", document.document_id,
+                lambda: normalize_accident(accident))
+        except QuarantinedError:
             continue
         diagnostics.parse.accidents_parsed += 1
-        database.accidents.append(normalize_accident(accident))
+        database.accidents.append(normalized_accident)
 
     normalized, mileage, norm_stats = normalize_records(
         raw_disengagements, raw_mileage)
@@ -94,11 +142,17 @@ def process_corpus(corpus: SyntheticCorpus,
         normalized, drop_planned=config.drop_planned)
     diagnostics.filters = filter_stats
 
-    dictionary = _build_dictionary(filtered, config)
+    dictionary = guard.run(
+        "dictionary", "corpus",
+        lambda: _build_dictionary(filtered, config),
+        fallback=lambda: _degraded_dictionary())
     diagnostics.dictionary_entries = len(dictionary)
     tagger = VotingTagger(dictionary)
-    for record in filtered:
-        result = tagger.tag(record.description)
+    for index, record in enumerate(filtered):
+        result = guard.run(
+            "tag", _record_id(record, index),
+            lambda: tagger.tag(record.description),
+            fallback=_unknown_tag)
         record.tag = result.tag
         record.category = result.category
 
@@ -109,6 +163,37 @@ def process_corpus(corpus: SyntheticCorpus,
     database.mileage = mileage
     return PipelineResult(
         database=database, diagnostics=diagnostics, config=config)
+
+
+def _non_blank(lines: list[str]) -> int:
+    """Count the non-blank lines (blank ones are not 'unparsed')."""
+    return sum(1 for line in lines if line.strip())
+
+
+def _record_id(record, index: int) -> str:
+    """A stable unit id for one disengagement record."""
+    if record.source_document is not None:
+        return f"{record.source_document}:{record.source_line}"
+    return f"record:{index}"
+
+
+def _unknown_tag():
+    """Degraded tagging outcome: the explicit UNKNOWN tag/category."""
+    from ..nlp.tagger import TagResult
+
+    return TagResult(
+        tag=FaultTag.UNKNOWN,
+        category=category_of(FaultTag.UNKNOWN),
+        confident=False)
+
+
+def _degraded_dictionary() -> FailureDictionary:
+    """Fallback when the corpus-expanded dictionary build fails."""
+    warnings.warn(
+        "expanded dictionary build failed; falling back to the "
+        "hand-curated seed dictionary",
+        DegradedModeWarning, stacklevel=2)
+    return FailureDictionary.from_seeds()
 
 
 def _through_ocr(document: RawDocument, ocr_stage: OcrStage | None,

@@ -18,6 +18,7 @@ from ..ocr.scanner import ScannerProfile
 from ..parsing.filters import FilterStats
 from ..parsing.normalize import NormalizationStats
 from ..synth.reports import RawDocument
+from .resilience import RunHealth
 
 
 @dataclass
@@ -56,6 +57,9 @@ class PipelineDiagnostics:
     tagging: TaggingReport | None = None
     #: Dictionary size used for tagging.
     dictionary_entries: int = 0
+    #: What the resilience layer observed (errors, retries,
+    #: degradations, quarantine counts per stage).
+    health: RunHealth = field(default_factory=RunHealth)
 
 
 class OcrStage:

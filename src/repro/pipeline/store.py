@@ -17,6 +17,7 @@ from ..parsing.records import (
     DisengagementRecord,
     MonthlyMileage,
 )
+from .resilience import Quarantine, QuarantineEntry
 
 
 @dataclass
@@ -26,6 +27,10 @@ class FailureDatabase:
     disengagements: list[DisengagementRecord] = field(default_factory=list)
     accidents: list[AccidentRecord] = field(default_factory=list)
     mileage: list[MonthlyMileage] = field(default_factory=list)
+    #: Dead-letter store of units the pipeline failed on (empty on a
+    #: clean run; carried in the JSON only when non-empty so clean
+    #: databases stay byte-identical across library versions).
+    quarantine: Quarantine = field(default_factory=Quarantine)
 
     # ------------------------------------------------------------------
     # Grouping helpers.
@@ -111,11 +116,15 @@ class FailureDatabase:
 
     def to_json(self) -> str:
         """Serialize the database to a JSON string."""
-        return json.dumps({
+        payload = {
             "disengagements": [r.to_dict() for r in self.disengagements],
             "accidents": [r.to_dict() for r in self.accidents],
             "mileage": [m.to_dict() for m in self.mileage],
-        })
+        }
+        if self.quarantine:
+            payload["quarantine"] = [e.to_dict()
+                                     for e in self.quarantine]
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "FailureDatabase":
@@ -128,6 +137,9 @@ class FailureDatabase:
                        for d in data["accidents"]],
             mileage=[MonthlyMileage.from_dict(d)
                      for d in data["mileage"]],
+            quarantine=Quarantine(
+                entries=[QuarantineEntry.from_dict(d)
+                         for d in data.get("quarantine", [])]),
         )
 
     def save(self, path: str | Path) -> None:

@@ -20,6 +20,7 @@ from ..analysis.categories import automatic_share, overall_category_shares
 from ..analysis.dpm import manufacturer_dpm_summary
 from ..analysis.maturity import all_assessments, pooled_dpm_correlation
 from ..analysis.missions import mission_comparison
+from ..pipeline.resilience import Quarantine, RunHealth
 from ..pipeline.store import FailureDatabase
 from . import figures_paper, tables_paper
 from .ascii_charts import bar_chart, box_panel, scatter
@@ -168,4 +169,42 @@ def render_study_report(db: FailureDatabase,
             w("")
         except Exception:
             continue
+    return "\n".join(out)
+
+
+def render_run_health(health: RunHealth,
+                      quarantine: Quarantine | None = None) -> str:
+    """Render the resilience layer's view of one run as text.
+
+    Used by the CLI's ``health`` section after ``run``/``process``; a
+    clean run renders a single reassuring line.
+    """
+    out: list[str] = []
+    w = out.append
+    if health.clean and not (quarantine and len(quarantine)):
+        if health.total_retries:
+            w(f"health:         clean "
+              f"({health.total_retries} transient fault(s) retried "
+              "successfully)")
+        else:
+            w("health:         clean (no errors, no degradations)")
+        return "\n".join(out)
+    w(f"health:         {health.total_errors} error(s), "
+      f"{health.total_retries} retried, "
+      f"{health.total_degradations} degraded, "
+      f"{health.total_quarantined} quarantined")
+    for name, stage in sorted(health.stages.items()):
+        if stage.errors == 0 and stage.retries == 0:
+            continue
+        w(f"  {name:12s} {stage.errors}/{stage.attempts} failed "
+          f"({stage.error_rate:.1%}), {stage.retries} retried, "
+          f"{stage.degradations} degraded, "
+          f"{stage.quarantined} quarantined")
+    if quarantine and len(quarantine):
+        worst = quarantine.entries[:3]
+        w(f"  quarantine:  {len(quarantine)} unit(s): "
+          + ", ".join(f"{e.unit_id} [{e.error_type}]" for e in worst)
+          + (" ..." if len(quarantine) > 3 else ""))
+    for event in health.degradation_events[:5]:
+        w(f"  degraded:    {event}")
     return "\n".join(out)

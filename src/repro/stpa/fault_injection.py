@@ -96,11 +96,15 @@ class CampaignResult:
                    for o in relevant) / len(relevant)
 
     def hazard_ranking(self) -> list[tuple[str, float]]:
-        """Components ranked by hazard rate, worst first."""
+        """Components ranked by hazard rate, worst first.
+
+        Ties break alphabetically by component name so the ranking is
+        deterministic (the origins come out of a set).
+        """
         origins = {o.origin for o in self.outcomes}
         ranked = [(origin, self.hazard_rate(origin))
                   for origin in origins]
-        return sorted(ranked, key=lambda item: -item[1])
+        return sorted(ranked, key=lambda item: (-item[1], item[0]))
 
     def detection_sites(self) -> Counter:
         """Where faults get detected (component -> count)."""

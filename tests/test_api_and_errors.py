@@ -6,6 +6,7 @@ import repro
 from repro.errors import (
     AnalysisError,
     CalibrationError,
+    DegradedModeWarning,
     FieldCoercionError,
     InsufficientDataError,
     NlpError,
@@ -13,9 +14,11 @@ from repro.errors import (
     OntologyError,
     ParseError,
     PipelineError,
+    QuarantinedError,
     ReproError,
     StpaError,
     SynthesisError,
+    TransientError,
     UnknownFormatError,
 )
 
@@ -49,6 +52,7 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("exc", [
         CalibrationError, SynthesisError, OcrError, ParseError,
         NlpError, StpaError, PipelineError, AnalysisError,
+        TransientError, QuarantinedError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -77,6 +81,17 @@ class TestErrorHierarchy:
 
     def test_parse_error_without_context(self):
         assert str(ParseError("plain")) == "plain"
+
+    def test_quarantined_is_pipeline_error(self):
+        assert issubclass(QuarantinedError, PipelineError)
+        error = QuarantinedError("lost", unit_id="doc-1",
+                                 stage="parse")
+        assert error.unit_id == "doc-1"
+        assert error.stage == "parse"
+
+    def test_degraded_mode_is_a_warning_not_an_error(self):
+        assert issubclass(DegradedModeWarning, Warning)
+        assert not issubclass(DegradedModeWarning, ReproError)
 
     def test_catching_base_at_pipeline_boundary(self):
         # A caller can wrap any stage in one except clause.

@@ -159,3 +159,38 @@ class TestSummary:
                      "--out", str(out_path)])
         assert code == 0
         assert "## Headlines" in out_path.read_text()
+
+
+class TestResilienceFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.failure_policy == "quarantine"
+        assert args.max_retries == 2
+        assert args.chaos_stage is None
+
+    def test_clean_run_prints_clean_health(self, capsys):
+        code = main(["run", "--seed", "5", "--manufacturers",
+                     "Nissan", "--no-ocr", "--dictionary", "seed"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        assert "clean" in out
+
+    def test_chaos_run_reports_quarantine(self, capsys, tmp_path):
+        path = tmp_path / "db.json"
+        code = main(["run", "--seed", "5", "--manufacturers",
+                     "Nissan", "--no-ocr", "--dictionary", "seed",
+                     "--chaos-stage", "parse", "--chaos-rate", "0.3",
+                     "--failure-policy", "quarantine",
+                     "--out", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        data = json.loads(path.read_text())
+        assert data["quarantine"]
+        assert data["quarantine"][0]["error_type"] == "ChaosError"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--failure-policy",
+                                       "telepathy"])

@@ -7,7 +7,9 @@ from repro.errors import StpaError
 from repro.stpa.fault_injection import (
     DEFAULT_DETECTION,
     HAZARD_COMPONENT,
+    CampaignResult,
     FaultInjector,
+    InjectionOutcome,
 )
 
 
@@ -95,3 +97,31 @@ class TestCampaign:
             injections_per_component=100, origins=["actuators"],
             seed=2)
         assert all(not o.hazardous for o in campaign.outcomes)
+
+
+class TestHazardRankingTies:
+    def test_equal_rates_break_ties_by_component_name(self):
+        # Regression: the ranking sorts origins coming out of a set,
+        # so equal hazard rates used to come back in arbitrary order.
+        result = CampaignResult(injections_per_component=1)
+        for origin in ("zeta", "alpha", "mid", "beta"):
+            result.outcomes.append(InjectionOutcome(
+                origin=origin, reached=frozenset({origin}),
+                detected_at=None, mitigated=False))
+        # One hazardous outcome lifts "mid" above the all-tied rest.
+        result.outcomes.append(InjectionOutcome(
+            origin="mid", reached=frozenset({"mid", HAZARD_COMPONENT}),
+            detected_at=None, mitigated=False))
+        ranking = result.hazard_ranking()
+        assert ranking[0][0] == "mid"
+        assert [origin for origin, _ in ranking[1:]] == \
+            ["alpha", "beta", "zeta"]
+
+    def test_all_tied_ranking_is_alphabetical(self):
+        result = CampaignResult(injections_per_component=1)
+        for origin in ("c", "a", "b"):
+            result.outcomes.append(InjectionOutcome(
+                origin=origin, reached=frozenset({origin}),
+                detected_at=None, mitigated=False))
+        assert [o for o, _ in result.hazard_ranking()] == \
+            ["a", "b", "c"]
