@@ -26,6 +26,7 @@ Quickstart::
 from .errors import (
     AnalysisError,
     CalibrationError,
+    CorruptDatabaseError,
     DegradedModeWarning,
     FieldCoercionError,
     InsufficientDataError,
@@ -43,6 +44,8 @@ from .errors import (
 )
 from .pipeline import (
     ChaosConfig,
+    CheckpointStore,
+    CrashPoint,
     FailureDatabase,
     FailurePolicy,
     PipelineConfig,
@@ -65,6 +68,8 @@ __all__ = [
     "FaultTag",
     "Modality",
     "ChaosConfig",
+    "CheckpointStore",
+    "CrashPoint",
     "FailureDatabase",
     "FailurePolicy",
     "PipelineConfig",
@@ -89,6 +94,7 @@ __all__ = [
     "PipelineError",
     "TransientError",
     "QuarantinedError",
+    "CorruptDatabaseError",
     "DegradedModeWarning",
     "AnalysisError",
     "InsufficientDataError",

@@ -21,12 +21,14 @@ from pathlib import Path
 from . import __version__
 from .pipeline import (
     ChaosConfig,
+    CrashController,
+    CrashPoint,
     FailureDatabase,
     PipelineConfig,
     process_corpus,
     run_pipeline,
 )
-from .pipeline.chaos import CHAOS_KINDS
+from .pipeline.chaos import CHAOS_KINDS, CRASH_POINTS
 from .pipeline.resilience import POLICY_MODES
 from .rng import DEFAULT_SEED
 
@@ -67,14 +69,33 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         default="exception",
                         help="kind of fault to inject "
                              "(default: %(default)s)")
+    parser.add_argument("--crash-at", choices=CRASH_POINTS,
+                        default=None,
+                        help="simulate a hard crash at this pipeline "
+                             "boundary (crash-recovery testing)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal completed work here so a killed "
+                             "run can be resumed")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore completed units from "
+                             "--checkpoint-dir instead of recomputing")
+    parser.add_argument("--no-checkpoint", action="store_true",
+                        help="disable checkpointing even when "
+                             "--checkpoint-dir is set")
 
 
 def _config_from(args: argparse.Namespace) -> PipelineConfig:
+    # ChaosConfig / PipelineConfig validate their knobs (rates in
+    # [0, 1], non-negative retries, resume needing a directory, ...)
+    # and raise ValueError with a precise message; main() turns that
+    # into a clean exit-code-2 diagnostic instead of a traceback.
     chaos = None
     if args.chaos_stage is not None:
         chaos = ChaosConfig(stage=args.chaos_stage,
                             rate=args.chaos_rate,
                             kind=args.chaos_kind)
+    crash = (CrashPoint(at=args.crash_at)
+             if args.crash_at is not None else None)
     return PipelineConfig(
         seed=args.seed,
         manufacturers=args.manufacturers,
@@ -86,6 +107,10 @@ def _config_from(args: argparse.Namespace) -> PipelineConfig:
         max_error_rate=args.max_error_rate,
         max_retries=args.max_retries,
         chaos=chaos,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        checkpoint_enabled=not args.no_checkpoint,
+        crash=crash,
     )
 
 
@@ -107,12 +132,18 @@ def _print_run_summary(result) -> None:
                             result.database.quarantine))
 
 
+def _save_database(result, out: str) -> None:
+    """Atomic save, honoring a configured ``save`` kill point."""
+    result.database.save(
+        out, crash=CrashController(result.config.crash))
+    print(f"database written to {out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_pipeline(_config_from(args))
     _print_run_summary(result)
     if args.out:
-        result.database.save(args.out)
-        print(f"database written to {args.out}")
+        _save_database(result, args.out)
     return 0
 
 
@@ -133,8 +164,7 @@ def _cmd_process(args: argparse.Namespace) -> int:
     result = process_corpus(corpus, _config_from(args))
     _print_run_summary(result)
     if args.out:
-        result.database.save(args.out)
-        print(f"database written to {args.out}")
+        _save_database(result, args.out)
     return 0
 
 
@@ -364,10 +394,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Invalid knob combinations (chaos rates outside [0, 1], negative
+    retries, ``--resume`` without ``--checkpoint-dir``, ...) exit with
+    status 2 and the validation message, argparse-style.  A
+    :class:`~repro.pipeline.chaos.SimulatedCrash` is *not* caught: a
+    simulated hard crash must die exactly like a real one.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ValueError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

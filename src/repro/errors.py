@@ -91,6 +91,33 @@ class QuarantinedError(PipelineError):
         self.stage = stage
 
 
+class CorruptDatabaseError(ReproError):
+    """A persisted database (or checkpoint artifact) failed integrity.
+
+    Raised by :meth:`repro.pipeline.store.FailureDatabase.from_json` /
+    :meth:`~repro.pipeline.store.FailureDatabase.load` when the
+    on-disk JSON is torn, malformed, fails its checksum, or is missing
+    required fields — instead of surfacing raw ``KeyError`` /
+    ``json.JSONDecodeError``.  ``path`` names the offending file (when
+    known) and ``reason`` the specific integrity failure.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 reason: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        parts = [base]
+        if self.path is not None:
+            parts.append(f"path={self.path!r}")
+        if self.reason is not None:
+            parts.append(f"reason={self.reason!r}")
+        return " | ".join(parts)
+
+
 class DegradedModeWarning(UserWarning):
     """The pipeline fell back to a reduced-fidelity mode.
 

@@ -8,7 +8,6 @@ Optional fields are ``None`` when the manufacturer does not report them
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 from datetime import date
 from typing import Any
@@ -60,17 +59,32 @@ class DisengagementRecord:
         return int(self.month[:4])
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable dictionary form (enums/dates stringified)."""
-        out = dataclasses.asdict(self)
-        out["event_date"] = (
-            self.event_date.isoformat() if self.event_date else None)
-        out["modality"] = self.modality.value if self.modality else None
-        out["tag"] = self.tag.value if self.tag else None
-        out["category"] = self.category.value if self.category else None
-        out["truth_tag"] = self.truth_tag.value if self.truth_tag else None
-        out["time_of_day"] = (
-            list(self.time_of_day) if self.time_of_day else None)
-        return out
+        """JSON-serializable dictionary form (enums/dates stringified).
+
+        Built by hand rather than via :func:`dataclasses.asdict`: the
+        checkpoint journal serializes every record as it completes,
+        and ``asdict``'s recursive deep-copy dominates that cost.
+        """
+        return {
+            "manufacturer": self.manufacturer,
+            "month": self.month,
+            "event_date": (self.event_date.isoformat()
+                           if self.event_date else None),
+            "time_of_day": (list(self.time_of_day)
+                            if self.time_of_day else None),
+            "vehicle_id": self.vehicle_id,
+            "modality": self.modality.value if self.modality else None,
+            "road_type": self.road_type,
+            "weather": self.weather,
+            "reaction_time_s": self.reaction_time_s,
+            "description": self.description,
+            "tag": self.tag.value if self.tag else None,
+            "category": self.category.value if self.category else None,
+            "truth_tag": (self.truth_tag.value
+                          if self.truth_tag else None),
+            "source_document": self.source_document,
+            "source_line": self.source_line,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DisengagementRecord":
@@ -134,10 +148,24 @@ class AccidentRecord:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable dictionary form."""
-        out = dataclasses.asdict(self)
-        out["event_date"] = (
-            self.event_date.isoformat() if self.event_date else None)
-        return out
+        return {
+            "manufacturer": self.manufacturer,
+            "event_date": (self.event_date.isoformat()
+                           if self.event_date else None),
+            "month": self.month,
+            "location": self.location,
+            "autonomous_at_collision": self.autonomous_at_collision,
+            "disengaged_before_collision":
+                self.disengaged_before_collision,
+            "av_speed_mph": self.av_speed_mph,
+            "other_speed_mph": self.other_speed_mph,
+            "collision_type": self.collision_type,
+            "injuries": self.injuries,
+            "redacted": self.redacted,
+            "vehicle_id": self.vehicle_id,
+            "description": self.description,
+            "source_document": self.source_document,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "AccidentRecord":
@@ -164,7 +192,12 @@ class MonthlyMileage:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable dictionary form."""
-        return dataclasses.asdict(self)
+        return {
+            "manufacturer": self.manufacturer,
+            "month": self.month,
+            "miles": self.miles,
+            "vehicle_id": self.vehicle_id,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MonthlyMileage":

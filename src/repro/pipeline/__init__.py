@@ -5,13 +5,30 @@ raw corpus, push it through the OCR channel, parse and normalize it,
 tag every narrative with the NLP engine, and assemble the consolidated
 failure database that the statistical analyses consume.  The
 :mod:`~repro.pipeline.resilience` layer isolates per-unit failures
-(quarantine, bounded retry, degraded modes) and the
-:mod:`~repro.pipeline.chaos` harness injects faults to prove it.
+(quarantine, bounded retry, degraded modes), the
+:mod:`~repro.pipeline.checkpoint` layer journals completed work so a
+killed run resumes instead of restarting, and the
+:mod:`~repro.pipeline.chaos` harness injects faults — including
+simulated hard crashes — to prove both.
 """
 
-from .chaos import ChaosConfig, ChaosError, ChaosInjector
+from .chaos import (
+    CRASH_POINTS,
+    ChaosConfig,
+    ChaosError,
+    ChaosInjector,
+    CrashController,
+    CrashPoint,
+    SimulatedCrash,
+)
+from .checkpoint import (
+    CheckpointStore,
+    atomic_write_text,
+    config_fingerprint,
+)
 from .config import PipelineConfig
 from .resilience import (
+    CheckpointHealth,
     FailurePolicy,
     Quarantine,
     QuarantineEntry,
@@ -24,9 +41,14 @@ from .stages import PipelineDiagnostics
 from .runner import PipelineResult, run_pipeline, process_corpus
 
 __all__ = [
+    "CRASH_POINTS",
     "ChaosConfig",
     "ChaosError",
     "ChaosInjector",
+    "CheckpointHealth",
+    "CheckpointStore",
+    "CrashController",
+    "CrashPoint",
     "FailurePolicy",
     "PipelineConfig",
     "FailureDatabase",
@@ -35,7 +57,10 @@ __all__ = [
     "Quarantine",
     "QuarantineEntry",
     "RunHealth",
+    "SimulatedCrash",
     "StageGuard",
+    "atomic_write_text",
+    "config_fingerprint",
     "retry_with_backoff",
     "run_pipeline",
     "process_corpus",

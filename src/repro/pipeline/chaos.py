@@ -29,6 +29,23 @@ T = TypeVar("T")
 #: Recognized injection kinds.
 CHAOS_KINDS = ("exception", "transient", "corruption", "latency")
 
+#: Named kill points a :class:`CrashPoint` may target.  The ``mid-*``
+#: points fire halfway through the corresponding per-unit loop (so a
+#: partially journaled stage is exercised); the bare names fire at the
+#: stage's completion boundary; ``save`` fires inside
+#: :meth:`~repro.pipeline.store.FailureDatabase.save`, after the
+#: temporary file is written but before it is atomically published.
+CRASH_POINTS = (
+    "mid-parse-documents",
+    "parse-documents",
+    "accident-documents",
+    "normalize",
+    "dictionary",
+    "mid-tag",
+    "tag",
+    "save",
+)
+
 
 class ChaosError(RuntimeError):
     """The fault the chaos harness injects.
@@ -38,6 +55,59 @@ class ChaosError(RuntimeError):
     produce), so it exercises the resilience layer's generic handling
     rather than any domain-specific catch.
     """
+
+
+class SimulatedCrash(BaseException):
+    """A simulated *hard* process death (OOM kill, SIGKILL, power loss).
+
+    Derives from :class:`BaseException`, not :class:`Exception`, so it
+    cannot be caught by the resilience layer's quarantine/retry paths —
+    exactly like a real ``kill -9``, nothing in the pipeline may
+    survive it.  Only the crash-recovery tests (and the CLI process
+    boundary) see it.
+    """
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Kill-point injection: die at a named pipeline boundary.
+
+    Used by the crash-recovery tests and the CLI ``--crash-at`` flag to
+    prove that a run killed anywhere leaves only a valid checkpoint
+    directory behind, and that ``--resume`` then reproduces the
+    uninterrupted run byte for byte.
+    """
+
+    #: One of :data:`CRASH_POINTS`.
+    at: str
+
+    def __post_init__(self) -> None:
+        if self.at not in CRASH_POINTS:
+            raise ValueError(
+                f"crash point must be one of {CRASH_POINTS}, "
+                f"got {self.at!r}")
+
+
+class CrashController:
+    """Raises :class:`SimulatedCrash` when its kill point is reached.
+
+    A ``None`` point makes every check a no-op, so the production path
+    costs one attribute test per boundary.
+    """
+
+    def __init__(self, point: CrashPoint | None = None) -> None:
+        self.point = point
+
+    def reached(self, name: str) -> None:
+        """Die if ``name`` is the configured kill point."""
+        if self.point is not None and self.point.at == name:
+            raise SimulatedCrash(
+                f"simulated hard crash at {name!r}")
+
+    def reached_mid(self, name: str, index: int, total: int) -> None:
+        """Die at ``name`` halfway through a loop of ``total`` units."""
+        if self.point is not None and index == total // 2:
+            self.reached(name)
 
 
 @dataclass(frozen=True)

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..ocr.fallback import DEFAULT_CONFIDENCE_THRESHOLD
 from ..ocr.scanner import ScannerProfile
 from ..rng import DEFAULT_SEED
-from .chaos import ChaosConfig
+from .chaos import ChaosConfig, CrashPoint
 from .resilience import POLICY_MODES, FailurePolicy
 
 
@@ -51,6 +52,18 @@ class PipelineConfig:
     max_retries: int = 2
     #: Optional pipeline-level fault injection (testing/chaos runs).
     chaos: ChaosConfig | None = None
+    #: Checkpoint directory for crash-safe incremental progress
+    #: (None disables checkpointing entirely).
+    checkpoint_dir: str | Path | None = None
+    #: Resume from ``checkpoint_dir``: restore completed units and
+    #: stage artifacts instead of recomputing them.
+    resume: bool = False
+    #: Master switch: ``False`` ignores ``checkpoint_dir`` without
+    #: having to clear it (the CLI's ``--no-checkpoint``).
+    checkpoint_enabled: bool = True
+    #: Optional kill-point injection: die hard at a named pipeline
+    #: boundary (crash-recovery testing only).
+    crash: CrashPoint | None = None
 
     def __post_init__(self) -> None:
         if self.dictionary_mode not in ("seed", "expanded"):
@@ -61,6 +74,24 @@ class PipelineConfig:
             raise ValueError(
                 f"failure_policy must be one of {POLICY_MODES}, got "
                 f"{self.failure_policy!r}")
+        if not 0.0 <= self.max_error_rate <= 1.0:
+            raise ValueError(
+                f"max_error_rate {self.max_error_rate} outside [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.fallback_threshold <= 1.0:
+            raise ValueError(
+                f"fallback_threshold {self.fallback_threshold} "
+                "outside [0, 1]")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError(
+                "resume=True requires a checkpoint_dir to resume from")
+
+    @property
+    def checkpointing_active(self) -> bool:
+        """Whether this run journals (and may restore) checkpoints."""
+        return self.checkpoint_dir is not None and self.checkpoint_enabled
 
     def resolved_policy(self) -> FailurePolicy:
         """The :class:`FailurePolicy` these knobs describe."""

@@ -182,12 +182,59 @@ class StageHealth:
 
 
 @dataclass
+class CheckpointHealth:
+    """What the durability layer observed about one run.
+
+    Populated by :class:`~repro.pipeline.checkpoint.CheckpointStore`
+    and the runner's restore path; surfaced through
+    :class:`RunHealth` and the CLI ``health:`` section.
+    """
+
+    #: Whether checkpointing was active for the run.
+    enabled: bool = False
+    #: Whether the run was started with resume requested.
+    resumed: bool = False
+    #: Units restored from the checkpoint instead of recomputed.
+    restored_units: int = 0
+    #: Units computed live (fresh, missing, or failed integrity).
+    recomputed_units: int = 0
+    #: Stage-level artifacts restored from the checkpoint.
+    artifacts_restored: int = 0
+    #: Journal lines / artifacts dropped for failing their checksum.
+    corrupt_entries: int = 0
+    #: The checkpoint directory was discarded as unusable on resume.
+    stale: bool = False
+    #: Why the directory was discarded (config change, version, ...).
+    stale_reason: str | None = None
+    #: Human-readable durability events (staleness, corruption).
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly digest (mirrors :meth:`RunHealth.summary`)."""
+        return {
+            "enabled": self.enabled,
+            "resumed": self.resumed,
+            "restored_units": self.restored_units,
+            "recomputed_units": self.recomputed_units,
+            "artifacts_restored": self.artifacts_restored,
+            "corrupt_entries": self.corrupt_entries,
+            "stale": self.stale,
+            "stale_reason": self.stale_reason,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
 class RunHealth:
     """Everything the resilience layer observed about one run."""
 
     stages: dict[str, StageHealth] = field(default_factory=dict)
     #: Human-readable descriptions of degraded-mode fallbacks.
     degradation_events: list[str] = field(default_factory=list)
+    #: What the crash-safe checkpoint layer observed (disabled unless
+    #: the run was given a checkpoint directory).
+    checkpoint: CheckpointHealth = field(
+        default_factory=CheckpointHealth)
 
     def stage(self, name: str) -> StageHealth:
         """The (auto-created) counters for one stage."""
@@ -236,6 +283,7 @@ class RunHealth:
                 for name, s in sorted(self.stages.items())
             },
             "degradation_events": list(self.degradation_events),
+            "checkpoint": self.checkpoint.summary(),
         }
 
 

@@ -7,12 +7,25 @@ work is retried, degraded, or quarantined according to the configured
 the whole run.  A clean run draws no randomness from the guard, so
 resilient output is byte-identical to the historical unguarded
 pipeline.
+
+When the config names a checkpoint directory, completed units of work
+are journaled through a
+:class:`~repro.pipeline.checkpoint.CheckpointStore` at stage
+boundaries, and a resume run restores them instead of recomputing —
+keyed by the same stable unit ids the resilience layer uses, so a run
+killed at any point (see
+:data:`~repro.pipeline.chaos.CRASH_POINTS`) and resumed produces a
+database byte-identical to an uninterrupted run.  Artifacts that fail
+their checksum, or checkpoints written under a different config/seed,
+are discarded and recomputed, never trusted.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..errors import DegradedModeWarning, ParseError, QuarantinedError
 from ..nlp.dictionary import FailureDictionary
@@ -23,18 +36,25 @@ from ..parsing import (
     filter_records,
     parse_accident_report,
 )
+from ..parsing.filters import FilterStats
 from ..parsing.normalize import (
     NormalizationStats,
     normalize_accident,
     normalize_records,
 )
+from ..parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
 from ..rng import child_generator
 from ..synth.dataset import SyntheticCorpus, generate_corpus
 from ..synth.reports import RawDocument
-from ..taxonomy import FaultTag, category_of
-from .chaos import ChaosInjector
+from ..taxonomy import FailureCategory, FaultTag, category_of
+from .chaos import ChaosInjector, CrashController
+from .checkpoint import CheckpointStore, config_fingerprint
 from .config import PipelineConfig
-from .resilience import StageGuard
+from .resilience import QuarantineEntry, StageGuard
 from .stages import OcrStage, PipelineDiagnostics
 from .store import FailureDatabase
 
@@ -68,93 +88,132 @@ def process_corpus(corpus: SyntheticCorpus,
         chaos=(ChaosInjector(config.chaos, config.seed)
                if config.chaos is not None else None))
     diagnostics.health = guard.health
+    store = None
+    if config.checkpointing_active:
+        store = CheckpointStore(
+            config.checkpoint_dir, config_fingerprint(config),
+            health=guard.health.checkpoint)
+        store.open(resume=config.resume)
+    try:
+        return _process(corpus, config, diagnostics, database, guard,
+                        store)
+    finally:
+        if store is not None:
+            store.close()
 
+
+def _process(corpus: SyntheticCorpus, config: PipelineConfig,
+             diagnostics: PipelineDiagnostics,
+             database: FailureDatabase, guard: StageGuard,
+             store: CheckpointStore | None) -> PipelineResult:
+    crash = CrashController(config.crash)
+    checkpoint = guard.health.checkpoint
     ocr_stage = OcrStage(
         config.scanner_profile, config.correction_enabled,
         config.fallback_threshold) if config.ocr_enabled else None
     registry = default_registry()
 
-    raw_disengagements = []
-    raw_mileage = []
-    for document in corpus.disengagement_documents:
-        try:
-            lines = guard.run(
-                "ocr", document.document_id,
-                lambda: _through_ocr(document, ocr_stage, config,
-                                     diagnostics))
-        except QuarantinedError:
+    # ---- Stage II: disengagement reports (per-document) --------------
+    raw_disengagements: list[DisengagementRecord] = []
+    raw_mileage: list[MonthlyMileage] = []
+    restored_docs = store.restored("documents") if store else {}
+    documents = corpus.disengagement_documents
+    for index, document in enumerate(documents):
+        crash.reached_mid("mid-parse-documents", index, len(documents))
+        entry = restored_docs.get(document.document_id)
+        if entry is not None and _restore_disengagement(
+                entry, diagnostics, database, guard,
+                raw_disengagements, raw_mileage):
+            checkpoint.restored_units += 1
             continue
-        try:
-            parsed = guard.run(
-                "parse", document.document_id,
-                lambda: registry.resolve(lines).parse(
-                    lines, document.document_id),
-                expected=(ParseError,))
-        except ParseError:
-            diagnostics.parse.unparsed_lines += _non_blank(lines)
-            continue
-        except QuarantinedError:
-            continue
-        diagnostics.parse.documents += 1
-        diagnostics.parse.disengagements_parsed += len(
-            parsed.disengagements)
-        diagnostics.parse.mileage_cells_parsed += len(parsed.mileage)
-        diagnostics.parse.unparsed_lines += sum(
-            1 for line in parsed.unparsed_lines if line.strip())
-        if config.attach_truth:
-            _attach_truth(document, parsed.disengagements)
-        raw_disengagements.extend(parsed.disengagements)
-        raw_mileage.extend(parsed.mileage)
+        body = _process_disengagement(
+            document, config, diagnostics, database, guard,
+            ocr_stage, registry, raw_disengagements, raw_mileage,
+            journal=store is not None)
+        if store is not None:
+            store.append("documents", document.document_id, body)
+            checkpoint.recomputed_units += 1
+    crash.reached("parse-documents")
+    if store is not None:
+        store.sync()
 
+    # ---- Stage II: accident reports (per-document) -------------------
+    restored_accidents = store.restored("accidents") if store else {}
     for document in corpus.accident_documents:
-        try:
-            lines = guard.run(
-                "ocr", document.document_id,
-                lambda: _through_ocr(document, ocr_stage, config,
-                                     diagnostics))
-        except QuarantinedError:
+        entry = restored_accidents.get(document.document_id)
+        if entry is not None and _restore_accident(
+                entry, diagnostics, database, guard):
+            checkpoint.restored_units += 1
             continue
-        try:
-            accident = guard.run(
-                "parse", document.document_id,
-                lambda: parse_accident_report(
-                    lines, document.document_id),
-                expected=(ParseError,))
-        except ParseError:
-            diagnostics.parse.unparsed_lines += _non_blank(lines)
-            continue
-        except QuarantinedError:
-            continue
-        try:
-            normalized_accident = guard.run(
-                "normalize", document.document_id,
-                lambda: normalize_accident(accident))
-        except QuarantinedError:
-            continue
-        diagnostics.parse.accidents_parsed += 1
-        database.accidents.append(normalized_accident)
+        body = _process_accident(
+            document, config, diagnostics, database, guard, ocr_stage,
+            journal=store is not None)
+        if store is not None:
+            store.append("accidents", document.document_id, body)
+            checkpoint.recomputed_units += 1
+    crash.reached("accident-documents")
+    if store is not None:
+        store.sync()
 
-    normalized, mileage, norm_stats = normalize_records(
-        raw_disengagements, raw_mileage)
-    diagnostics.normalization = norm_stats
+    # ---- Stage II/III boundary: normalize + filter -------------------
+    restored_norm = _restore_normalized(store, config, diagnostics,
+                                        checkpoint)
+    if restored_norm is not None:
+        filtered, mileage = restored_norm
+    else:
+        normalized, mileage, norm_stats = normalize_records(
+            raw_disengagements, raw_mileage)
+        diagnostics.normalization = norm_stats
+        filtered, filter_stats = filter_records(
+            normalized, drop_planned=config.drop_planned)
+        diagnostics.filters = filter_stats
+        if store is not None:
+            store.write_artifact("normalized", {
+                "disengagements": [r.to_dict() for r in filtered],
+                "mileage": [m.to_dict() for m in mileage],
+                "normalization": asdict(norm_stats),
+                "filters": asdict(filter_stats),
+            })
+    crash.reached("normalize")
 
-    filtered, filter_stats = filter_records(
-        normalized, drop_planned=config.drop_planned)
-    diagnostics.filters = filter_stats
-
-    dictionary = guard.run(
-        "dictionary", "corpus",
-        lambda: _build_dictionary(filtered, config),
-        fallback=lambda: _degraded_dictionary())
+    # ---- Stage III: dictionary + tagging -----------------------------
+    dictionary = _restore_dictionary(store, config, checkpoint)
+    if dictionary is None:
+        dictionary = guard.run(
+            "dictionary", "corpus",
+            lambda: _build_dictionary(filtered, config),
+            fallback=lambda: _degraded_dictionary())
+        if store is not None:
+            store.write_artifact(
+                "dictionary", json.loads(dictionary.to_json()))
     diagnostics.dictionary_entries = len(dictionary)
+    crash.reached("dictionary")
+
     tagger = VotingTagger(dictionary)
+    restored_tags = store.restored("tags") if store else {}
     for index, record in enumerate(filtered):
+        crash.reached_mid("mid-tag", index, len(filtered))
+        record_id = _record_id(record)
+        entry = restored_tags.get(record_id)
+        if entry is not None and _restore_tag(entry, record,
+                                              checkpoint):
+            checkpoint.restored_units += 1
+            continue
         result = guard.run(
-            "tag", _record_id(record, index),
+            "tag", record_id,
             lambda: tagger.tag(record.description),
             fallback=_unknown_tag)
         record.tag = result.tag
         record.category = result.category
+        if store is not None:
+            store.append("tags", record_id, {
+                "tag": record.tag.value,
+                "category": record.category.value,
+            })
+            checkpoint.recomputed_units += 1
+    crash.reached("tag")
+    if store is not None:
+        store.sync()
 
     if config.attach_truth:
         diagnostics.tagging = evaluate_tagger(tagger, filtered)
@@ -165,16 +224,276 @@ def process_corpus(corpus: SyntheticCorpus,
         database=database, diagnostics=diagnostics, config=config)
 
 
+# ----------------------------------------------------------------------
+# Per-unit processing (live path).  Each returns the journal body that
+# lets a resume run replay the unit without recomputing it.
+# ----------------------------------------------------------------------
+
+def _process_disengagement(document: RawDocument,
+                           config: PipelineConfig,
+                           diagnostics: PipelineDiagnostics,
+                           database: FailureDatabase,
+                           guard: StageGuard,
+                           ocr_stage: OcrStage | None,
+                           registry,
+                           raw_disengagements: list,
+                           raw_mileage: list,
+                           journal: bool = True) -> dict | None:
+    try:
+        lines = guard.run(
+            "ocr", document.document_id,
+            lambda: _through_ocr(document, ocr_stage, config,
+                                 diagnostics))
+    except QuarantinedError:
+        return _quarantined_body(database)
+    try:
+        parsed = guard.run(
+            "parse", document.document_id,
+            lambda: registry.resolve(lines).parse(
+                lines, document.document_id),
+            expected=(ParseError,))
+    except ParseError:
+        unparsed = _non_blank(lines)
+        diagnostics.parse.unparsed_lines += unparsed
+        return {"outcome": "parse_error", "unparsed": unparsed}
+    except QuarantinedError:
+        return _quarantined_body(database)
+    unparsed = sum(1 for line in parsed.unparsed_lines if line.strip())
+    diagnostics.parse.documents += 1
+    diagnostics.parse.disengagements_parsed += len(
+        parsed.disengagements)
+    diagnostics.parse.mileage_cells_parsed += len(parsed.mileage)
+    diagnostics.parse.unparsed_lines += unparsed
+    if config.attach_truth:
+        _attach_truth(document, parsed.disengagements)
+    raw_disengagements.extend(parsed.disengagements)
+    raw_mileage.extend(parsed.mileage)
+    if not journal:  # body building is pure checkpoint overhead
+        return None
+    return {
+        "outcome": "ok",
+        "disengagements": [r.to_dict() for r in parsed.disengagements],
+        "mileage": [m.to_dict() for m in parsed.mileage],
+        "unparsed": unparsed,
+    }
+
+
+def _process_accident(document: RawDocument, config: PipelineConfig,
+                      diagnostics: PipelineDiagnostics,
+                      database: FailureDatabase, guard: StageGuard,
+                      ocr_stage: OcrStage | None,
+                      journal: bool = True) -> dict | None:
+    try:
+        lines = guard.run(
+            "ocr", document.document_id,
+            lambda: _through_ocr(document, ocr_stage, config,
+                                 diagnostics))
+    except QuarantinedError:
+        return _quarantined_body(database)
+    try:
+        accident = guard.run(
+            "parse", document.document_id,
+            lambda: parse_accident_report(
+                lines, document.document_id),
+            expected=(ParseError,))
+    except ParseError:
+        unparsed = _non_blank(lines)
+        diagnostics.parse.unparsed_lines += unparsed
+        return {"outcome": "parse_error", "unparsed": unparsed}
+    except QuarantinedError:
+        return _quarantined_body(database)
+    try:
+        normalized_accident = guard.run(
+            "normalize", document.document_id,
+            lambda: normalize_accident(accident))
+    except QuarantinedError:
+        return _quarantined_body(database)
+    diagnostics.parse.accidents_parsed += 1
+    database.accidents.append(normalized_accident)
+    if not journal:
+        return None
+    return {"outcome": "ok",
+            "accident": normalized_accident.to_dict()}
+
+
+def _quarantined_body(database: FailureDatabase) -> dict:
+    """Journal body for a unit the guard just dead-lettered."""
+    return {"outcome": "quarantined",
+            "entry": database.quarantine.entries[-1].to_dict()}
+
+
+# ----------------------------------------------------------------------
+# Restore paths.  Each returns True when the journal entry was adopted;
+# False sends the unit back to the live path (corrupt/unknown shapes
+# are recomputed, never trusted).
+# ----------------------------------------------------------------------
+
+def _restore_disengagement(entry: dict,
+                           diagnostics: PipelineDiagnostics,
+                           database: FailureDatabase,
+                           guard: StageGuard,
+                           raw_disengagements: list,
+                           raw_mileage: list) -> bool:
+    try:
+        outcome = entry["outcome"]
+        if outcome == "ok":
+            records = [DisengagementRecord.from_dict(d)
+                       for d in entry["disengagements"]]
+            cells = [MonthlyMileage.from_dict(m)
+                     for m in entry["mileage"]]
+            unparsed = int(entry["unparsed"])
+            diagnostics.parse.documents += 1
+            diagnostics.parse.disengagements_parsed += len(records)
+            diagnostics.parse.mileage_cells_parsed += len(cells)
+            diagnostics.parse.unparsed_lines += unparsed
+            diagnostics.parse.documents_restored += 1
+            raw_disengagements.extend(records)
+            raw_mileage.extend(cells)
+            return True
+        if outcome == "parse_error":
+            diagnostics.parse.unparsed_lines += int(entry["unparsed"])
+            diagnostics.parse.documents_restored += 1
+            return True
+        if outcome == "quarantined":
+            _restore_quarantined(entry, database, guard)
+            diagnostics.parse.documents_restored += 1
+            return True
+    except Exception:
+        pass
+    _note_unusable(guard, entry)
+    return False
+
+
+def _restore_accident(entry: dict, diagnostics: PipelineDiagnostics,
+                      database: FailureDatabase,
+                      guard: StageGuard) -> bool:
+    try:
+        outcome = entry["outcome"]
+        if outcome == "ok":
+            accident = AccidentRecord.from_dict(entry["accident"])
+            diagnostics.parse.accidents_parsed += 1
+            diagnostics.parse.documents_restored += 1
+            database.accidents.append(accident)
+            return True
+        if outcome == "parse_error":
+            diagnostics.parse.unparsed_lines += int(entry["unparsed"])
+            diagnostics.parse.documents_restored += 1
+            return True
+        if outcome == "quarantined":
+            _restore_quarantined(entry, database, guard)
+            diagnostics.parse.documents_restored += 1
+            return True
+    except Exception:
+        pass
+    _note_unusable(guard, entry)
+    return False
+
+
+def _restore_quarantined(entry: dict, database: FailureDatabase,
+                         guard: StageGuard) -> None:
+    """Re-adopt a pre-crash quarantine verdict (and its health)."""
+    quarantined = QuarantineEntry.from_dict(entry["entry"])
+    database.quarantine.add(quarantined)
+    stats = guard.health.stage(quarantined.stage)
+    stats.attempts += 1
+    stats.errors += 1
+    stats.quarantined += 1
+
+
+def _restore_normalized(store: CheckpointStore | None,
+                        config: PipelineConfig,
+                        diagnostics: PipelineDiagnostics,
+                        checkpoint) -> tuple[list, list] | None:
+    """Adopt the normalized+filtered stage artifact, if usable."""
+    if store is None or not config.resume:
+        return None
+    payload = store.load_artifact("normalized")
+    if payload is None:
+        return None
+    try:
+        filtered = [DisengagementRecord.from_dict(d)
+                    for d in payload["disengagements"]]
+        mileage = [MonthlyMileage.from_dict(m)
+                   for m in payload["mileage"]]
+        norm_stats = NormalizationStats(**payload["normalization"])
+        filter_stats = FilterStats(**payload["filters"])
+    except Exception:
+        checkpoint.corrupt_entries += 1
+        checkpoint.notes.append(
+            "artifact 'normalized' could not be decoded; recomputed")
+        return None
+    diagnostics.normalization = norm_stats
+    diagnostics.filters = filter_stats
+    checkpoint.artifacts_restored += 1
+    return filtered, mileage
+
+
+def _restore_dictionary(store: CheckpointStore | None,
+                        config: PipelineConfig,
+                        checkpoint) -> FailureDictionary | None:
+    """Adopt the built-dictionary stage artifact, if usable."""
+    if store is None or not config.resume:
+        return None
+    payload = store.load_artifact("dictionary")
+    if payload is None:
+        return None
+    try:
+        dictionary = FailureDictionary.from_json(json.dumps(payload))
+    except Exception:
+        checkpoint.corrupt_entries += 1
+        checkpoint.notes.append(
+            "artifact 'dictionary' could not be decoded; recomputed")
+        return None
+    checkpoint.artifacts_restored += 1
+    return dictionary
+
+
+def _restore_tag(entry: dict, record, checkpoint) -> bool:
+    try:
+        tag = FaultTag(entry["tag"])
+        category = FailureCategory(entry["category"])
+    except Exception:
+        checkpoint.corrupt_entries += 1
+        checkpoint.notes.append(
+            f"tag entry for {_record_id(record)!r} unusable; "
+            "recomputed")
+        return False
+    record.tag = tag
+    record.category = category
+    return True
+
+
+def _note_unusable(guard: StageGuard, entry: dict) -> None:
+    checkpoint = guard.health.checkpoint
+    checkpoint.corrupt_entries += 1
+    checkpoint.notes.append(
+        f"journal entry with outcome {entry.get('outcome')!r} "
+        "unusable; recomputed")
+
+
+# ----------------------------------------------------------------------
+# Shared helpers.
+# ----------------------------------------------------------------------
+
 def _non_blank(lines: list[str]) -> int:
     """Count the non-blank lines (blank ones are not 'unparsed')."""
     return sum(1 for line in lines if line.strip())
 
 
-def _record_id(record, index: int) -> str:
-    """A stable unit id for one disengagement record."""
+def _record_id(record) -> str:
+    """A stable unit id for one disengagement record.
+
+    Records without provenance get a content-derived id rather than a
+    positional one: a position shifts whenever an earlier record is
+    filtered or quarantined, which would silently re-key the unit
+    across a resume.
+    """
     if record.source_document is not None:
         return f"{record.source_document}:{record.source_line}"
-    return f"record:{index}"
+    digest = hashlib.sha256("|".join((
+        record.manufacturer, record.month, record.description,
+    )).encode("utf-8")).hexdigest()[:16]
+    return f"record:{digest}"
 
 
 def _unknown_tag():

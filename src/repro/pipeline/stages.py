@@ -42,6 +42,9 @@ class ParseStageStats:
     mileage_cells_parsed: int = 0
     accidents_parsed: int = 0
     unparsed_lines: int = 0
+    #: Documents whose Stage II outcome was replayed from a checkpoint
+    #: journal instead of recomputed (always 0 without ``--resume``).
+    documents_restored: int = 0
 
 
 @dataclass

@@ -3,6 +3,13 @@
 Holds the tagged disengagement records, accident records, and monthly
 mileage cells, with the grouping helpers every Stage IV analysis
 needs, plus a JSON round-trip for persistence.
+
+Persistence is crash-safe: :meth:`FailureDatabase.save` commits via
+write-to-temp + fsync + ``os.replace`` (a crash mid-write can never
+tear an existing database file) and publishes a sha256 sidecar that
+:meth:`FailureDatabase.load` verifies; any integrity failure raises
+:class:`~repro.errors.CorruptDatabaseError` with the offending path
+and reason.
 """
 
 from __future__ import annotations
@@ -11,12 +18,15 @@ import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
+from ..errors import CorruptDatabaseError
 from ..parsing.records import (
     AccidentRecord,
     DisengagementRecord,
     MonthlyMileage,
 )
+from .checkpoint import atomic_write_text, sha256_text
 from .resilience import Quarantine, QuarantineEntry
 
 
@@ -127,26 +137,121 @@ class FailureDatabase:
         return json.dumps(payload)
 
     @classmethod
-    def from_json(cls, text: str) -> "FailureDatabase":
-        """Inverse of :meth:`to_json`."""
-        data = json.loads(text)
+    def from_json(cls, text: str, *,
+                  source: str | Path | None = None) -> "FailureDatabase":
+        """Inverse of :meth:`to_json`.
+
+        Malformed, truncated, or structurally wrong JSON raises
+        :class:`~repro.errors.CorruptDatabaseError` naming the source
+        path (when given) and the offending section — never a raw
+        ``KeyError``/``json.JSONDecodeError``.
+        """
+        path = str(source) if source is not None else None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CorruptDatabaseError(
+                f"database JSON is malformed: {exc}",
+                path=path, reason=f"invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CorruptDatabaseError(
+                "database JSON is not an object",
+                path=path,
+                reason=f"top level is {type(data).__name__}")
         return cls(
-            disengagements=[DisengagementRecord.from_dict(d)
-                            for d in data["disengagements"]],
-            accidents=[AccidentRecord.from_dict(d)
-                       for d in data["accidents"]],
-            mileage=[MonthlyMileage.from_dict(d)
-                     for d in data["mileage"]],
-            quarantine=Quarantine(
-                entries=[QuarantineEntry.from_dict(d)
-                         for d in data.get("quarantine", [])]),
+            disengagements=_decode_section(
+                data, "disengagements", DisengagementRecord.from_dict,
+                required=True, path=path),
+            accidents=_decode_section(
+                data, "accidents", AccidentRecord.from_dict,
+                required=True, path=path),
+            mileage=_decode_section(
+                data, "mileage", MonthlyMileage.from_dict,
+                required=True, path=path),
+            quarantine=Quarantine(entries=_decode_section(
+                data, "quarantine", QuarantineEntry.from_dict,
+                required=False, path=path)),
         )
 
-    def save(self, path: str | Path) -> None:
-        """Write the database to ``path`` as JSON."""
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+    def save(self, path: str | Path, *, durable: bool = True,
+             checksum: bool = True, crash: Any = None) -> None:
+        """Write the database to ``path`` as JSON — atomically.
+
+        Guarantee: the JSON is written to a temporary file in the same
+        directory, fsynced, and published with :func:`os.replace`, so
+        a crash at any instant leaves either the previous database
+        file or the complete new one on disk — never a torn mix.
+        ``checksum=True`` additionally publishes a
+        ``<name>.sha256`` sidecar (``sha256sum``-compatible) that
+        :meth:`load` verifies before trusting the file.
+
+        ``crash`` accepts a
+        :class:`~repro.pipeline.chaos.CrashController` whose ``save``
+        kill point fires mid-save (crash-recovery testing).
+        """
+        path = Path(path)
+        text = self.to_json()
+        atomic_write_text(
+            path, text, durable=durable,
+            crash_hook=(None if crash is None
+                        else lambda: crash.reached("save")))
+        if checksum:
+            atomic_write_text(
+                _sidecar_path(path),
+                f"{sha256_text(text)}  {path.name}\n",
+                durable=durable)
 
     @classmethod
-    def load(cls, path: str | Path) -> "FailureDatabase":
-        """Read a database previously written with :meth:`save`."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+    def load(cls, path: str | Path, *,
+             verify_checksum: bool = True) -> "FailureDatabase":
+        """Read a database previously written with :meth:`save`.
+
+        When a ``.sha256`` sidecar exists (and ``verify_checksum`` is
+        on), the file content is verified against it first; a mismatch
+        raises :class:`~repro.errors.CorruptDatabaseError` instead of
+        returning silently wrong data.
+        """
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        sidecar = _sidecar_path(path)
+        if verify_checksum and sidecar.exists():
+            expected = sidecar.read_text(encoding="utf-8").split()
+            if not expected or sha256_text(text) != expected[0]:
+                raise CorruptDatabaseError(
+                    f"database file {path} does not match its "
+                    ".sha256 sidecar",
+                    path=str(path), reason="checksum mismatch")
+        return cls.from_json(text, source=path)
+
+
+def _sidecar_path(path: Path) -> Path:
+    """Where :meth:`FailureDatabase.save` puts the checksum sidecar."""
+    return path.with_name(path.name + ".sha256")
+
+
+def _decode_section(data: dict, key: str, from_dict, *,
+                    required: bool, path: str | None) -> list:
+    """Decode one record list, translating failures to typed errors."""
+    if key not in data:
+        if not required:
+            return []
+        raise CorruptDatabaseError(
+            f"database JSON is missing required section {key!r}",
+            path=path, reason=f"missing key {key!r}")
+    section = data[key]
+    if not isinstance(section, list):
+        raise CorruptDatabaseError(
+            f"database section {key!r} is not a list",
+            path=path,
+            reason=f"{key!r} is {type(section).__name__}")
+    records = []
+    for index, entry in enumerate(section):
+        try:
+            records.append(from_dict(entry))
+        except Exception as exc:
+            raise CorruptDatabaseError(
+                f"database section {key!r} entry {index} could not "
+                f"be decoded: {type(exc).__name__}: {exc}",
+                path=path,
+                reason=f"bad {key!r} entry {index}: {exc}") from exc
+    return records

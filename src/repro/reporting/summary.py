@@ -188,6 +188,7 @@ def render_run_health(health: RunHealth,
               "successfully)")
         else:
             w("health:         clean (no errors, no degradations)")
+        _render_checkpoint_health(health.checkpoint, w)
         return "\n".join(out)
     w(f"health:         {health.total_errors} error(s), "
       f"{health.total_retries} retried, "
@@ -207,4 +208,23 @@ def render_run_health(health: RunHealth,
           + (" ..." if len(quarantine) > 3 else ""))
     for event in health.degradation_events[:5]:
         w(f"  degraded:    {event}")
+    _render_checkpoint_health(health.checkpoint, w)
     return "\n".join(out)
+
+
+def _render_checkpoint_health(checkpoint, w) -> None:
+    """Append the durability layer's view (silent when disabled)."""
+    if not checkpoint.enabled:
+        return
+    line = (f"checkpoint:     {checkpoint.restored_units} unit(s) "
+            f"restored, {checkpoint.recomputed_units} recomputed, "
+            f"{checkpoint.artifacts_restored} artifact(s) restored")
+    if checkpoint.corrupt_entries:
+        line += (f", {checkpoint.corrupt_entries} corrupt "
+                 "entr(y/ies) discarded")
+    w(line)
+    if checkpoint.stale:
+        w(f"  stale:       checkpoint discarded "
+          f"({checkpoint.stale_reason})")
+    for note in checkpoint.notes[:5]:
+        w(f"  durability:  {note}")

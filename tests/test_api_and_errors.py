@@ -6,6 +6,7 @@ import repro
 from repro.errors import (
     AnalysisError,
     CalibrationError,
+    CorruptDatabaseError,
     DegradedModeWarning,
     FieldCoercionError,
     InsufficientDataError,
@@ -52,7 +53,7 @@ class TestErrorHierarchy:
     @pytest.mark.parametrize("exc", [
         CalibrationError, SynthesisError, OcrError, ParseError,
         NlpError, StpaError, PipelineError, AnalysisError,
-        TransientError, QuarantinedError,
+        TransientError, QuarantinedError, CorruptDatabaseError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -81,6 +82,19 @@ class TestErrorHierarchy:
 
     def test_parse_error_without_context(self):
         assert str(ParseError("plain")) == "plain"
+
+    def test_corrupt_database_formats_path_and_reason(self):
+        error = CorruptDatabaseError(
+            "unreadable database", path="/tmp/db.json",
+            reason="checksum mismatch")
+        text = str(error)
+        assert "unreadable database" in text
+        assert "/tmp/db.json" in text
+        assert "checksum mismatch" in text
+        assert str(CorruptDatabaseError("plain")) == "plain"
+
+    def test_corrupt_database_exported_from_package(self):
+        assert repro.CorruptDatabaseError is CorruptDatabaseError
 
     def test_quarantined_is_pipeline_error(self):
         assert issubclass(QuarantinedError, PipelineError)

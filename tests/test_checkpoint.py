@@ -1,0 +1,556 @@
+"""Tests for crash-safe checkpointing, atomic persistence, and resume.
+
+Covers the durability primitives (atomic replace, checksummed
+journals), the typed :class:`~repro.errors.CorruptDatabaseError`
+contract of the store, kill-point injection, the acceptance scenario
+(crash at every declared point -> resume -> byte-identical database),
+stale-checkpoint invalidation, and checksum-corruption recovery.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import CorruptDatabaseError, ReproError
+from repro.parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+from repro.pipeline import (
+    CRASH_POINTS,
+    ChaosConfig,
+    CrashController,
+    CrashPoint,
+    FailureDatabase,
+    PipelineConfig,
+    SimulatedCrash,
+    process_corpus,
+)
+from repro.pipeline.checkpoint import (
+    CheckpointStore,
+    atomic_write_text,
+    config_fingerprint,
+    journal_line,
+    read_journal,
+    sha256_text,
+)
+from repro.pipeline.resilience import Quarantine, QuarantineEntry
+from repro.pipeline.runner import _record_id
+from repro.reporting.summary import render_run_health
+from repro.synth import generate_corpus
+
+SEED = 7
+SUBSET = ["Nissan"]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(SEED, SUBSET)
+
+
+def _config(**kwargs) -> PipelineConfig:
+    defaults = dict(seed=SEED, manufacturers=SUBSET, ocr_enabled=False)
+    defaults.update(kwargs)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def clean_json(corpus):
+    """The uninterrupted no-checkpoint run every scenario must match."""
+    return process_corpus(corpus, _config()).database.to_json()
+
+
+# ----------------------------------------------------------------------
+# Durability primitives.
+# ----------------------------------------------------------------------
+
+class TestAtomicWrite:
+    def test_publishes_content(self, tmp_path):
+        target = tmp_path / "x.json"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+        assert list(tmp_path.iterdir()) == [target]  # no temp debris
+
+    def test_crash_mid_write_preserves_old_content(self, tmp_path):
+        target = tmp_path / "x.json"
+        target.write_text("old")
+
+        def die():
+            raise SimulatedCrash("mid-write")
+
+        with pytest.raises(SimulatedCrash):
+            atomic_write_text(target, "new", crash_hook=die)
+        assert target.read_text() == "old"
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as handle:
+            handle.write(journal_line("a", {"v": 1}) + "\n")
+            handle.write(journal_line("b", {"v": 2}) + "\n")
+        entries, corrupt = read_journal(path)
+        assert entries == {"a": {"v": 1}, "b": {"v": 2}}
+        assert corrupt == 0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_journal(tmp_path / "none.jsonl") == ({}, 0)
+
+    def test_torn_tail_line_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as handle:
+            handle.write(journal_line("a", {"v": 1}) + "\n")
+            handle.write(journal_line("b", {"v": 2})[:20])  # torn
+        entries, corrupt = read_journal(path)
+        assert entries == {"a": {"v": 1}}
+        assert corrupt == 1
+
+    def test_checksum_mismatch_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        line = json.loads(journal_line("a", {"v": 1}))
+        line["body"]["v"] = 999  # tamper after checksumming
+        path.write_text(json.dumps(line) + "\n")
+        entries, corrupt = read_journal(path)
+        assert entries == {}
+        assert corrupt == 1
+
+    def test_rejournaled_unit_latest_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as handle:
+            handle.write(journal_line("a", {"v": 1}) + "\n")
+            handle.write(journal_line("a", {"v": 2}) + "\n")
+        entries, _ = read_journal(path)
+        assert entries == {"a": {"v": 2}}
+
+
+class TestCheckpointStore:
+    def test_artifact_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp")
+        store.open(resume=False)
+        store.write_artifact("dictionary", {"k": [1, 2]})
+        assert store.load_artifact("dictionary") == {"k": [1, 2]}
+
+    def test_corrupt_artifact_reported_not_trusted(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp")
+        store.open(resume=False)
+        store.write_artifact("dictionary", {"k": 1})
+        raw = json.loads((tmp_path / "dictionary.json").read_text())
+        raw["payload"]["k"] = 2
+        (tmp_path / "dictionary.json").write_text(json.dumps(raw))
+        assert store.load_artifact("dictionary") is None
+        assert store.health.corrupt_entries == 1
+
+    def test_fresh_open_discards_previous_state(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp")
+        store.open(resume=False)
+        store.append("tags", "a", {"v": 1})
+        store.close()
+        again = CheckpointStore(tmp_path, "fp")
+        again.open(resume=False)  # not a resume: start over
+        assert again.restored("tags") == {}
+        assert not (tmp_path / "tags.jsonl").exists()
+
+    @pytest.mark.parametrize("breakage", [
+        lambda d: (d / "manifest.json").unlink(),
+        lambda d: (d / "manifest.json").write_text("{torn"),
+        lambda d: (d / "manifest.json").write_text(json.dumps(
+            {"format": 999, "version": "x", "fingerprint": "fp"})),
+    ])
+    def test_unusable_manifest_marks_stale(self, tmp_path, breakage):
+        store = CheckpointStore(tmp_path, "fp")
+        store.open(resume=False)
+        store.append("tags", "a", {"v": 1})
+        store.close()
+        breakage(tmp_path)
+        resumed = CheckpointStore(tmp_path, "fp")
+        resumed.open(resume=True)
+        assert resumed.health.stale
+        assert resumed.restored("tags") == {}
+
+    def test_fingerprint_mismatch_marks_stale(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-a")
+        store.open(resume=False)
+        store.close()
+        resumed = CheckpointStore(tmp_path, "fp-b")
+        resumed.open(resume=True)
+        assert resumed.health.stale
+        assert "fingerprint" in resumed.health.stale_reason
+
+
+class TestConfigFingerprint:
+    def test_stable_for_same_config(self):
+        assert (config_fingerprint(_config())
+                == config_fingerprint(_config()))
+
+    def test_seed_changes_fingerprint(self):
+        assert (config_fingerprint(_config())
+                != config_fingerprint(_config(seed=8)))
+
+    def test_crash_point_and_checkpoint_knobs_excluded(self, tmp_path):
+        # A resume run drops --crash-at; it must still adopt the
+        # pre-crash checkpoints.
+        crashed = _config(checkpoint_dir=tmp_path,
+                          crash=CrashPoint(at="mid-tag"))
+        resumed = _config(checkpoint_dir=tmp_path, resume=True)
+        assert (config_fingerprint(crashed)
+                == config_fingerprint(resumed))
+        assert (config_fingerprint(_config())
+                == config_fingerprint(resumed))
+
+
+# ----------------------------------------------------------------------
+# Store persistence: atomicity + the typed corruption contract.
+# ----------------------------------------------------------------------
+
+def _sample_database(with_quarantine: bool) -> FailureDatabase:
+    quarantine = Quarantine()
+    if with_quarantine:
+        quarantine.add(QuarantineEntry(
+            unit_id="doc-9", stage="parse", error_type="ChaosError",
+            message="boom", traceback="Traceback ..."))
+    return FailureDatabase(
+        disengagements=[DisengagementRecord(
+            manufacturer="Nissan", month="2016-03",
+            description="planner hesitated", reaction_time_s=0.8,
+            source_document="doc-1", source_line=4)],
+        accidents=[AccidentRecord(
+            manufacturer="Nissan", month="2016-04",
+            description="rear-ended at a light", av_speed_mph=0.0,
+            other_speed_mph=8.0)],
+        mileage=[MonthlyMileage(
+            manufacturer="Nissan", month="2016-03", miles=512.5,
+            vehicle_id="n1")],
+        quarantine=quarantine,
+    )
+
+
+class TestDatabasePersistence:
+    @pytest.mark.parametrize("with_quarantine", [False, True])
+    def test_save_load_round_trip(self, tmp_path, with_quarantine):
+        db = _sample_database(with_quarantine)
+        path = tmp_path / "db.json"
+        db.save(path)
+        assert FailureDatabase.load(path).to_json() == db.to_json()
+        sidecar = tmp_path / "db.json.sha256"
+        assert sidecar.exists()
+        assert sidecar.read_text().split()[0] == sha256_text(
+            path.read_text())
+
+    def test_crash_mid_save_never_tears_existing_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        _sample_database(False).save(path)
+        before = path.read_text()
+        crash = CrashController(CrashPoint(at="save"))
+        with pytest.raises(SimulatedCrash):
+            _sample_database(True).save(path, crash=crash)
+        assert path.read_text() == before
+        assert FailureDatabase.load(path).to_json() == before
+
+    def test_load_without_sidecar_still_works(self, tmp_path):
+        db = _sample_database(False)
+        path = tmp_path / "db.json"
+        path.write_text(db.to_json())  # pre-atomic-save era file
+        assert FailureDatabase.load(path).to_json() == db.to_json()
+
+    def test_checksum_mismatch_raises_typed_error(self, tmp_path):
+        path = tmp_path / "db.json"
+        _sample_database(False).save(path)
+        text = path.read_text().replace("Nissan", "Datsun")
+        path.write_text(text)
+        with pytest.raises(CorruptDatabaseError) as info:
+            FailureDatabase.load(path)
+        assert info.value.reason == "checksum mismatch"
+        assert info.value.path == str(path)
+
+    def test_truncated_json_raises_typed_error(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(_sample_database(False).to_json()[:40])
+        with pytest.raises(CorruptDatabaseError) as info:
+            FailureDatabase.load(path)
+        assert "invalid JSON" in info.value.reason
+        assert info.value.path == str(path)
+
+    def test_missing_section_names_the_key(self):
+        with pytest.raises(CorruptDatabaseError) as info:
+            FailureDatabase.from_json(
+                '{"disengagements": [], "accidents": []}')
+        assert "mileage" in str(info.value)
+
+    def test_bad_entry_names_section_and_index(self):
+        payload = json.loads(_sample_database(False).to_json())
+        del payload["disengagements"][0]["manufacturer"]
+        with pytest.raises(CorruptDatabaseError) as info:
+            FailureDatabase.from_json(json.dumps(payload))
+        assert "disengagements" in str(info.value)
+        assert "entry 0" in str(info.value)
+
+    def test_non_list_section_rejected(self):
+        with pytest.raises(CorruptDatabaseError):
+            FailureDatabase.from_json(
+                '{"disengagements": {}, "accidents": [],'
+                ' "mileage": []}')
+
+    def test_corrupt_database_error_is_repro_error(self):
+        assert issubclass(CorruptDatabaseError, ReproError)
+        with pytest.raises(ReproError):
+            FailureDatabase.from_json("not json at all")
+
+
+# ----------------------------------------------------------------------
+# Kill points.
+# ----------------------------------------------------------------------
+
+class TestCrashPoint:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPoint(at="lunchtime")
+
+    def test_controller_fires_only_at_its_point(self):
+        crash = CrashController(CrashPoint(at="normalize"))
+        crash.reached("dictionary")  # no-op
+        with pytest.raises(SimulatedCrash):
+            crash.reached("normalize")
+
+    def test_disabled_controller_is_noop(self):
+        crash = CrashController(None)
+        for point in CRASH_POINTS:
+            crash.reached(point)
+
+    def test_simulated_crash_evades_exception_handlers(self):
+        # The resilience layer catches Exception; a hard crash must
+        # not be quarantinable.
+        assert not issubclass(SimulatedCrash, Exception)
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: crash -> resume -> byte-identical database.
+# ----------------------------------------------------------------------
+
+class TestCrashResume:
+    @pytest.mark.parametrize(
+        "point", [p for p in CRASH_POINTS if p != "save"])
+    def test_resume_is_byte_identical_after_crash(
+            self, tmp_path, corpus, clean_json, point):
+        with pytest.raises(SimulatedCrash):
+            process_corpus(corpus, _config(
+                checkpoint_dir=tmp_path, crash=CrashPoint(at=point)))
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, resume=True))
+        assert result.database.to_json() == clean_json
+        checkpoint = result.diagnostics.health.checkpoint
+        assert checkpoint.enabled and checkpoint.resumed
+        assert not checkpoint.stale
+
+    def test_resume_after_save_crash(self, tmp_path, corpus,
+                                     clean_json):
+        out = tmp_path / "db.json"
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path / "ckpt",
+            crash=CrashPoint(at="save")))
+        with pytest.raises(SimulatedCrash):
+            result.database.save(
+                out, crash=CrashController(result.config.crash))
+        assert not out.exists()  # only temp debris, never a torn file
+        resumed = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path / "ckpt", resume=True))
+        resumed.database.save(out)
+        assert out.read_text() == clean_json
+
+    def test_clean_checkpointed_run_matches_plain_run(
+            self, tmp_path, corpus, clean_json):
+        result = process_corpus(
+            corpus, _config(checkpoint_dir=tmp_path))
+        assert result.database.to_json() == clean_json
+        checkpoint = result.diagnostics.health.checkpoint
+        assert checkpoint.restored_units == 0
+        assert checkpoint.recomputed_units > 0
+
+    def test_resume_restores_instead_of_recomputing(
+            self, tmp_path, corpus, clean_json):
+        process_corpus(corpus, _config(checkpoint_dir=tmp_path))
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, resume=True))
+        assert result.database.to_json() == clean_json
+        checkpoint = result.diagnostics.health.checkpoint
+        assert checkpoint.recomputed_units == 0
+        assert checkpoint.restored_units > 0
+        assert checkpoint.artifacts_restored == 2
+        assert result.diagnostics.parse.documents_restored > 0
+
+    def test_resume_with_chaos_quarantine_byte_identical(
+            self, tmp_path, corpus):
+        chaos = ChaosConfig(stage="parse", rate=0.5)
+        uninterrupted = process_corpus(
+            corpus, _config(chaos=chaos)).database
+        assert len(uninterrupted.quarantine)  # scenario is exercised
+        with pytest.raises(SimulatedCrash):
+            process_corpus(corpus, _config(
+                chaos=chaos, checkpoint_dir=tmp_path,
+                crash=CrashPoint(at="dictionary")))
+        resumed = process_corpus(corpus, _config(
+            chaos=chaos, checkpoint_dir=tmp_path, resume=True))
+        assert resumed.database.to_json() == uninterrupted.to_json()
+
+    def test_no_checkpoint_switch_disables_journaling(
+            self, tmp_path, corpus):
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, checkpoint_enabled=False))
+        assert not result.diagnostics.health.checkpoint.enabled
+        assert not (tmp_path / "manifest.json").exists()
+
+
+class TestStaleAndCorruptCheckpoints:
+    def test_config_change_invalidates_checkpoint(self, tmp_path,
+                                                  corpus):
+        with pytest.raises(SimulatedCrash):
+            process_corpus(corpus, _config(
+                checkpoint_dir=tmp_path, crash=CrashPoint(at="tag")))
+        # Resume under a *different* seed: stale, fully recomputed.
+        other = process_corpus(corpus, _config(
+            seed=8, checkpoint_dir=tmp_path, resume=True))
+        checkpoint = other.diagnostics.health.checkpoint
+        assert checkpoint.stale
+        assert checkpoint.restored_units == 0
+        fresh = process_corpus(corpus, _config(seed=8))
+        assert other.database.to_json() == fresh.database.to_json()
+
+    def test_corrupted_journal_entry_recomputed(self, tmp_path,
+                                                corpus, clean_json):
+        with pytest.raises(SimulatedCrash):
+            process_corpus(corpus, _config(
+                checkpoint_dir=tmp_path, crash=CrashPoint(at="tag")))
+        journal = tmp_path / "tags.jsonl"
+        lines = journal.read_text().splitlines()
+        lines[0] = lines[0].replace(
+            '"tag"', '"gat"', 1)  # breaks the line's checksum
+        journal.write_text("\n".join(lines) + "\n")
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, resume=True))
+        assert result.database.to_json() == clean_json
+        checkpoint = result.diagnostics.health.checkpoint
+        assert checkpoint.corrupt_entries >= 1
+        assert checkpoint.recomputed_units >= 1
+
+    def test_corrupted_artifact_recomputed(self, tmp_path, corpus,
+                                           clean_json):
+        with pytest.raises(SimulatedCrash):
+            process_corpus(corpus, _config(
+                checkpoint_dir=tmp_path, crash=CrashPoint(at="tag")))
+        artifact = tmp_path / "dictionary.json"
+        artifact.write_text(artifact.read_text()[:-30])  # torn
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, resume=True))
+        assert result.database.to_json() == clean_json
+        checkpoint = result.diagnostics.health.checkpoint
+        assert checkpoint.corrupt_entries >= 1
+        assert checkpoint.artifacts_restored == 1  # normalized only
+
+
+# ----------------------------------------------------------------------
+# Unit ids, validation, and reporting satellites.
+# ----------------------------------------------------------------------
+
+class TestRecordId:
+    def test_provenance_id_unchanged(self):
+        record = DisengagementRecord(
+            manufacturer="Nissan", month="2016-01",
+            source_document="doc-3", source_line=12)
+        assert _record_id(record) == "doc-3:12"
+
+    def test_fallback_id_is_content_based_not_positional(self):
+        records = [
+            DisengagementRecord(manufacturer="Nissan",
+                                month="2016-01", description=text)
+            for text in ("lidar dropout", "planner hesitated")
+        ]
+        before = [_record_id(r) for r in records]
+        # An earlier record being filtered/quarantined away must not
+        # re-key the survivors.
+        assert _record_id(records[1]) == before[1]
+        assert before[0] != before[1]
+        assert all(rid.startswith("record:") for rid in before)
+
+
+class TestKnobValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_error_rate": -0.1},
+        {"max_error_rate": 1.5},
+        {"max_retries": -1},
+        {"fallback_threshold": 1.5},
+        {"resume": True},  # without a checkpoint_dir
+    ])
+    def test_pipeline_config_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": -0.2},
+        {"rate": 1.2},
+        {"latency_s": -1.0},
+        {"kind": "gremlins"},
+    ])
+    def test_chaos_config_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosConfig(stage="parse", **kwargs)
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "--max-retries", "-1"],
+        ["run", "--max-error-rate", "1.5"],
+        ["run", "--chaos-stage", "parse", "--chaos-rate", "-0.5"],
+        ["run", "--resume"],
+    ])
+    def test_cli_rejects_bad_flags_with_message(self, argv, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestHealthReporting:
+    def test_summary_carries_checkpoint_section(self, tmp_path,
+                                                corpus):
+        process_corpus(corpus, _config(checkpoint_dir=tmp_path))
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, resume=True))
+        summary = result.diagnostics.health.summary()
+        assert summary["checkpoint"]["enabled"]
+        assert summary["checkpoint"]["restored_units"] > 0
+
+    def test_render_run_health_shows_checkpoint_line(self, tmp_path,
+                                                     corpus):
+        process_corpus(corpus, _config(checkpoint_dir=tmp_path))
+        result = process_corpus(corpus, _config(
+            checkpoint_dir=tmp_path, resume=True))
+        text = render_run_health(result.diagnostics.health,
+                                 result.database.quarantine)
+        assert "checkpoint:" in text
+        assert "restored" in text
+
+    def test_render_run_health_silent_when_disabled(self, corpus):
+        result = process_corpus(corpus, _config())
+        text = render_run_health(result.diagnostics.health,
+                                 result.database.quarantine)
+        assert "checkpoint:" not in text
+
+
+class TestCliCrashResume:
+    def test_cli_crash_then_resume_matches_clean_run(self, tmp_path):
+        from repro.cli import main
+
+        base = ["run", "--seed", str(SEED), "--manufacturers",
+                "Nissan", "--no-ocr"]
+        clean_out = tmp_path / "clean.json"
+        assert main(base + ["--out", str(clean_out)]) == 0
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(SimulatedCrash):
+            main(base + ["--checkpoint-dir", str(ckpt),
+                         "--crash-at", "mid-tag",
+                         "--out", str(tmp_path / "crashed.json")])
+        assert not (tmp_path / "crashed.json").exists()
+        resumed_out = tmp_path / "resumed.json"
+        assert main(base + ["--checkpoint-dir", str(ckpt), "--resume",
+                            "--out", str(resumed_out)]) == 0
+        assert resumed_out.read_text() == clean_out.read_text()
