@@ -36,6 +36,7 @@ from .errors import (
     ParseError,
     PipelineError,
     QuarantinedError,
+    QueryError,
     ReproError,
     StpaError,
     SynthesisError,
@@ -98,4 +99,20 @@ __all__ = [
     "DegradedModeWarning",
     "AnalysisError",
     "InsufficientDataError",
+    "QueryError",
+    # Query & serving layer.
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "QueryServer",
 ]
+
+# The query layer embeds __version__ in its HTTP responses, so it can
+# only be imported once this module has bound it (kept last on
+# purpose — not an oversight).
+from .query import (  # noqa: E402
+    Query,
+    QueryEngine,
+    QueryResult,
+    QueryServer,
+)

@@ -1,0 +1,75 @@
+"""Stage IV analyses packaged as query kernels.
+
+Thin adapters only: each kernel is a named, zero-argument-beyond-the-
+database callable that delegates to the existing :mod:`repro.analysis`
+functions.  The query engine dispatches ``(metric, group_by)`` pairs
+through :data:`KERNELS`, so a served answer is *the same computation*
+as calling the analysis module directly — never a re-implementation
+of the math (the golden parity tests compare the two byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import InsufficientDataError
+from ..pipeline.store import FailureDatabase
+from .apm import (
+    accident_summary,
+    apm_summary,
+    disengagements_per_accident_overall,
+)
+from .categories import (
+    category_percentages,
+    modality_percentages,
+    tag_fractions,
+)
+from .dpm import (
+    manufacturer_dpm_summary,
+    monthly_series,
+    yearly_dpm_distributions,
+)
+from .temporal import dpm_trend_test
+
+Kernel = Callable[[FailureDatabase], Any]
+
+
+def _dpm_by_month(db: FailureDatabase) -> dict[str, list]:
+    """Manufacturer -> month-by-month DPM series."""
+    return {name: monthly_series(db, name)
+            for name in db.manufacturers()}
+
+
+def _dpa_overall(db: FailureDatabase) -> float:
+    """Total disengagements over total accidents (the ~127 figure)."""
+    return disengagements_per_accident_overall(db)
+
+
+def _trend_by_manufacturer(db: FailureDatabase) -> dict[str, Any]:
+    """Manufacturer -> Mann-Kendall DPM trend test.
+
+    Manufacturers with too few active months for the test (fewer than
+    4 observations) are omitted rather than failing the whole query.
+    """
+    out: dict[str, Any] = {}
+    for name in db.manufacturers():
+        try:
+            out[name] = dpm_trend_test(db, name)
+        except InsufficientDataError:
+            continue
+    return out
+
+
+#: ``(metric, group_by)`` -> the Stage IV computation serving it.
+KERNELS: dict[tuple[str, str | None], Kernel] = {
+    ("dpm", "manufacturer"): manufacturer_dpm_summary,
+    ("dpm", "month"): _dpm_by_month,
+    ("dpm", "year"): yearly_dpm_distributions,
+    ("apm", "manufacturer"): apm_summary,
+    ("dpa", "manufacturer"): accident_summary,
+    ("dpa", None): _dpa_overall,
+    ("tags", "manufacturer"): tag_fractions,
+    ("categories", "manufacturer"): category_percentages,
+    ("modalities", "manufacturer"): modality_percentages,
+    ("trend", "manufacturer"): _trend_by_manufacturer,
+}

@@ -10,11 +10,18 @@ Commands::
     stpa       overlay the tagged failures on the control structure
     inject     run a stochastic fault-injection campaign
     validate   score the NLP tagger against ground truth
+    query      run one typed query against a database
+    serve      expose a database over the embedded HTTP JSON API
+
+Exit codes (documented in docs/USAGE.md): 0 success, 1 lint findings
+at error severity, 2 invalid input (argparse errors, bad knob values,
+malformed queries).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -305,6 +312,53 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_from_args(args: argparse.Namespace):
+    from .query import Query
+
+    data = {"metric": args.metric}
+    if args.group_by:
+        data["group_by"] = args.group_by
+    if args.manufacturer:
+        data["manufacturers"] = tuple(args.manufacturer)
+    for key in ("month_from", "month_to", "tag", "category"):
+        value = getattr(args, key)
+        if value:
+            data[key] = value
+    return Query.from_dict(data)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .query import QueryEngine
+
+    engine = QueryEngine(_load_db(args))
+    result = engine.execute(_query_from_args(args))
+    indent = 2 if args.pretty else None
+    print(json.dumps(result.to_dict(), indent=indent))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .query import QueryServer
+    from .reporting.summary import render_query_stats
+
+    engine_db = _load_db(args)
+    server = QueryServer(engine_db, host=args.host, port=args.port,
+                         cache_size=args.cache_size,
+                         verbose=not args.quiet)
+    print(f"serving {len(engine_db.disengagements)} disengagements / "
+          f"{len(engine_db.accidents)} accidents on {server.url} "
+          "(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print()
+        print(render_query_stats(server.engine.stats()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -389,6 +443,48 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--db", help="database JSON")
     validate.add_argument("--seed", type=int, default=DEFAULT_SEED)
     validate.set_defaults(handler=_cmd_validate)
+
+    from .query.engine import GROUP_BYS, METRICS
+
+    query = commands.add_parser(
+        "query", help="run one typed query against a database")
+    query.add_argument("metric", choices=METRICS,
+                       help="what to compute")
+    query.add_argument("--group-by", choices=GROUP_BYS, default=None,
+                       help="slice dimension (default: the metric's "
+                            "natural grouping)")
+    query.add_argument("--manufacturer", action="append", default=[],
+                       help="restrict to this manufacturer "
+                            "(repeatable)")
+    query.add_argument("--month-from", default=None,
+                       help="inclusive YYYY-MM lower bound")
+    query.add_argument("--month-to", default=None,
+                       help="inclusive YYYY-MM upper bound")
+    query.add_argument("--tag", default=None,
+                       help="restrict disengagements to one fault tag")
+    query.add_argument("--category", default=None,
+                       help="restrict disengagements to one failure "
+                            "category")
+    query.add_argument("--db", help="database JSON from 'repro run'")
+    query.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    query.add_argument("--pretty", action="store_true",
+                       help="indent the JSON output")
+    query.set_defaults(handler=_cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="expose a database over the HTTP JSON API")
+    serve.add_argument("--db", help="database JSON from 'repro run'")
+    serve.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350,
+                       help="TCP port (0 picks a free one; "
+                            "default: %(default)s)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="bounded LRU result-cache capacity "
+                            "(default: %(default)s)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

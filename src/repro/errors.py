@@ -118,6 +118,16 @@ class CorruptDatabaseError(ReproError):
         return " | ".join(parts)
 
 
+class QueryError(ReproError, ValueError):
+    """A query handed to the query/serving layer is invalid.
+
+    Unknown metric, unsupported group-by, malformed filter, and so on.
+    Also a :class:`ValueError`, so the CLI's existing invalid-input
+    handling (exit code 2) applies unchanged; the HTTP layer maps it
+    to a 400 response.
+    """
+
+
 class DegradedModeWarning(UserWarning):
     """The pipeline fell back to a reduced-fidelity mode.
 

@@ -480,7 +480,7 @@ def _non_blank(lines: list[str]) -> int:
     return sum(1 for line in lines if line.strip())
 
 
-def _record_id(record) -> str:
+def record_id(record) -> str:
     """A stable unit id for one disengagement record.
 
     Records without provenance get a content-derived id rather than a
@@ -494,6 +494,11 @@ def _record_id(record) -> str:
         record.manufacturer, record.month, record.description,
     )).encode("utf-8")).hexdigest()[:16]
     return f"record:{digest}"
+
+
+#: Backward-compatible alias (the id became public API when the query
+#: layer's by-id index started exposing it).
+_record_id = record_id
 
 
 def _unknown_tag():

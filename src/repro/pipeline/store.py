@@ -26,8 +26,28 @@ from ..parsing.records import (
     DisengagementRecord,
     MonthlyMileage,
 )
-from .checkpoint import atomic_write_text, sha256_text
+from .checkpoint import atomic_write_text, canonical_json, sha256_text
 from .resilience import Quarantine, QuarantineEntry
+
+
+def manufacturer_names(*collections) -> set[str]:
+    """The set of manufacturer names across record collections.
+
+    The one shared implementation behind every "which manufacturers
+    are present?" question — each element of ``collections`` is any
+    iterable of objects with a ``manufacturer`` attribute.
+    """
+    return {record.manufacturer
+            for collection in collections
+            for record in collection}
+
+
+def group_by_manufacturer(records) -> dict[str, list]:
+    """Group records (anything with ``.manufacturer``) by manufacturer."""
+    grouped: dict[str, list] = defaultdict(list)
+    for record in records:
+        grouped[record.manufacturer].append(record)
+    return dict(grouped)
 
 
 @dataclass
@@ -48,25 +68,17 @@ class FailureDatabase:
 
     def manufacturers(self) -> list[str]:
         """Manufacturers present, sorted."""
-        names = {r.manufacturer for r in self.disengagements}
-        names.update(r.manufacturer for r in self.accidents)
-        names.update(m.manufacturer for m in self.mileage)
-        return sorted(names)
+        return sorted(manufacturer_names(
+            self.disengagements, self.accidents, self.mileage))
 
     def disengagements_by_manufacturer(
             self) -> dict[str, list[DisengagementRecord]]:
         """Manufacturer -> its disengagement records."""
-        grouped: dict[str, list[DisengagementRecord]] = defaultdict(list)
-        for record in self.disengagements:
-            grouped[record.manufacturer].append(record)
-        return dict(grouped)
+        return group_by_manufacturer(self.disengagements)
 
     def accidents_by_manufacturer(self) -> dict[str, list[AccidentRecord]]:
         """Manufacturer -> its accident records."""
-        grouped: dict[str, list[AccidentRecord]] = defaultdict(list)
-        for record in self.accidents:
-            grouped[record.manufacturer].append(record)
-        return dict(grouped)
+        return group_by_manufacturer(self.accidents)
 
     def miles_by_manufacturer(self) -> dict[str, float]:
         """Manufacturer -> total autonomous miles."""
@@ -124,8 +136,9 @@ class FailureDatabase:
     # Persistence.
     # ------------------------------------------------------------------
 
-    def to_json(self) -> str:
-        """Serialize the database to a JSON string."""
+    def _payload(self) -> dict[str, Any]:
+        """JSON-serializable dictionary form (shared by
+        :meth:`to_json` and :meth:`fingerprint`)."""
         payload = {
             "disengagements": [r.to_dict() for r in self.disengagements],
             "accidents": [r.to_dict() for r in self.accidents],
@@ -134,7 +147,23 @@ class FailureDatabase:
         if self.quarantine:
             payload["quarantine"] = [e.to_dict()
                                      for e in self.quarantine]
-        return json.dumps(payload)
+        return payload
+
+    def to_json(self) -> str:
+        """Serialize the database to a JSON string."""
+        return json.dumps(self._payload())
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the database.
+
+        The hex sha256 of the canonical JSON encoding (sorted keys,
+        compact separators — the same :func:`canonical_json` the
+        checkpoint sidecars use), so two databases with identical
+        content always fingerprint identically regardless of in-memory
+        construction order of equal JSON texts.  The query layer keys
+        its caches and indexes on this value.
+        """
+        return sha256_text(canonical_json(self._payload()))
 
     @classmethod
     def from_json(cls, text: str, *,

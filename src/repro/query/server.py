@@ -1,0 +1,256 @@
+"""Embedded JSON HTTP API over a query engine — stdlib only.
+
+A :class:`~http.server.ThreadingHTTPServer` front end for
+:class:`~repro.query.engine.QueryEngine`.  Endpoints:
+
+=========================  ==========================================
+``GET /healthz``           liveness: status, version, db fingerprint
+``GET /stats``             engine statistics (index + cache counters)
+``GET /manufacturers``     manufacturers present in the database
+``GET /metrics/dpm``       per-manufacturer DPM summaries
+``GET /metrics/apm``       per-manufacturer APM summaries (Table VII)
+``GET /metrics/dpa``       per-manufacturer DPA summaries (Table VI)
+``GET|POST /query``        the full typed query surface
+=========================  ==========================================
+
+``GET /query`` reads the query from the URL (``?metric=dpm&group_by=
+manufacturer&manufacturer=Waymo&month_from=2015-01``; repeat
+``manufacturer`` to filter on several); ``POST /query`` takes the
+same fields as a JSON object.  The ``/metrics/*`` shortcuts accept
+the filter parameters too.
+
+Every response is JSON.  Errors are structured:  400 carries
+``{"error": ...}`` for an invalid query, 404 for an unknown path,
+422 when the database is too thin for the requested statistic
+(:class:`~repro.errors.InsufficientDataError`).
+
+Concurrency: requests are served on one thread each; the engine's
+index is immutable and its cache locks internally, so concurrent
+reads need no further coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..errors import InsufficientDataError, QueryError, ReproError
+from ..pipeline.store import FailureDatabase
+from .engine import Query, QueryEngine
+
+#: Metric families reachable as ``/metrics/<name>`` shortcuts.
+METRIC_SHORTCUTS = ("dpm", "apm", "dpa")
+
+
+def _query_from_params(params: Mapping[str, list[str]]) -> Query:
+    """Build a query from URL parameters (``GET /query`` and the
+    ``/metrics/*`` filters)."""
+    known = {"metric", "group_by", "manufacturer", "manufacturers",
+             "month_from", "month_to", "tag", "category"}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise QueryError(
+            f"unknown query parameter(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}")
+    data: dict[str, Any] = {}
+    if "metric" in params:
+        data["metric"] = params["metric"][-1]
+    for key in ("group_by", "month_from", "month_to", "tag",
+                "category"):
+        if key in params:
+            data[key] = params[key][-1]
+    names = list(params.get("manufacturer", []))
+    for value in params.get("manufacturers", []):
+        names.extend(part.strip() for part in value.split(",")
+                     if part.strip())
+    if names:
+        data["manufacturers"] = tuple(names)
+    return Query.from_dict(data)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the engine lives on the server object."""
+
+    server_version = f"repro-query/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, handler, *args) -> None:
+        try:
+            status, payload = handler(*args)
+        except QueryError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except InsufficientDataError as exc:
+            status, payload = 422, {"error": str(exc)}
+        except ReproError as exc:  # pragma: no cover - safety net
+            status, payload = 500, {"error": str(exc)}
+        self._send_json(status, payload)
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        params = parse_qs(url.query)
+        route = url.path.rstrip("/") or "/"
+        if route == "/healthz":
+            self._dispatch(self._healthz)
+        elif route == "/stats":
+            self._dispatch(self._stats)
+        elif route == "/manufacturers":
+            self._dispatch(self._manufacturers)
+        elif route == "/query":
+            self._dispatch(self._query_get, params)
+        elif route.startswith("/metrics/"):
+            self._dispatch(self._metric, route[len("/metrics/"):],
+                           params)
+        else:
+            self._send_json(404, {"error": f"unknown path "
+                                           f"{url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        route = urlsplit(self.path).path.rstrip("/")
+        if route != "/query":
+            self._send_json(404, {"error": f"unknown path "
+                                           f"{self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            data = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"request body is not "
+                                           f"valid JSON: {exc}"})
+            return
+        self._dispatch(self._query_post, data)
+
+    # -- endpoints -----------------------------------------------------
+
+    def _healthz(self) -> tuple[int, Any]:
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "fingerprint": self.engine.fingerprint,
+        }
+
+    def _stats(self) -> tuple[int, Any]:
+        return 200, self.engine.stats()
+
+    def _manufacturers(self) -> tuple[int, Any]:
+        return 200, {
+            "manufacturers": list(self.engine.index.manufacturers),
+        }
+
+    def _query_get(self, params) -> tuple[int, Any]:
+        query = _query_from_params(params)
+        return 200, self.engine.execute(query).to_dict()
+
+    def _query_post(self, data) -> tuple[int, Any]:
+        return 200, self.engine.execute(Query.from_dict(data)).to_dict()
+
+    def _metric(self, name: str, params) -> tuple[int, Any]:
+        if name not in METRIC_SHORTCUTS:
+            return 404, {"error": f"unknown metric endpoint {name!r}; "
+                                  f"known: "
+                                  f"{', '.join(METRIC_SHORTCUTS)}"}
+        if "metric" in params:
+            raise QueryError(
+                "/metrics/* fixes the metric; drop the 'metric' "
+                "parameter or use /query")
+        query = _query_from_params({**params, "metric": [name]})
+        return 200, self.engine.execute(query).to_dict()
+
+
+class QueryServer:
+    """A running (or startable) HTTP server around one engine.
+
+    Usable blocking (:meth:`serve_forever`) or as a context manager
+    that serves from a daemon thread — the test/embedding mode::
+
+        with QueryServer(db, port=0) as server:
+            urllib.request.urlopen(server.url + "/healthz")
+    """
+
+    def __init__(self, db: FailureDatabase | QueryEngine,
+                 host: str = "127.0.0.1", port: int = 8350, *,
+                 cache_size: int = 256,
+                 verbose: bool = False) -> None:
+        self.engine = (db if isinstance(db, QueryEngine)
+                       else QueryEngine(db, cache_size=cache_size))
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.engine = self.engine  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the real one, also when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def start(self) -> "QueryServer":
+        """Serve from a background daemon thread."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-query-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(db: FailureDatabase, host: str = "127.0.0.1",
+          port: int = 8350, *, cache_size: int = 256,
+          verbose: bool = True) -> None:
+    """Blocking convenience entry point (the ``repro serve`` verb)."""
+    server = QueryServer(db, host, port, cache_size=cache_size,
+                         verbose=verbose)
+    try:
+        server.serve_forever()
+    finally:
+        server._httpd.server_close()

@@ -212,6 +212,30 @@ def render_run_health(health: RunHealth,
     return "\n".join(out)
 
 
+def render_query_stats(stats: dict) -> str:
+    """Render a query engine's statistics as text.
+
+    ``stats`` is :meth:`repro.query.engine.QueryEngine.stats` output;
+    the CLI prints this when ``repro serve`` shuts down.
+    """
+    index = stats.get("index", {})
+    cache = stats.get("cache", {})
+    out: list[str] = []
+    w = out.append
+    w(f"query engine:   db {stats.get('fingerprint', '')[:12]} — "
+      f"{index.get('disengagements', 0):,} disengagements, "
+      f"{index.get('accidents', 0):,} accidents, "
+      f"{index.get('mileage_cells', 0):,} mileage cells across "
+      f"{index.get('manufacturers', 0)} manufacturers")
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    w(f"  cache:       {lookups} lookup(s), "
+      f"{cache.get('hits', 0)} hit(s) "
+      f"({cache.get('hit_rate', 0.0):.1%}), "
+      f"{cache.get('evictions', 0)} evicted, "
+      f"{cache.get('size', 0)}/{cache.get('maxsize', 0)} resident")
+    return "\n".join(out)
+
+
 def _render_checkpoint_health(checkpoint, w) -> None:
     """Append the durability layer's view (silent when disabled)."""
     if not checkpoint.enabled:

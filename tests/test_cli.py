@@ -194,3 +194,74 @@ class TestResilienceFlags:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--failure-policy",
                                        "telepathy"])
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_before_subcommand(self, capsys):
+        # --version wins even though a subcommand is normally required.
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestQueryVerb:
+    def test_query_prints_json(self, nissan_db_path, capsys):
+        code = main(["query", "dpm", "--db", str(nissan_db_path)])
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["query"] == {"metric": "dpm",
+                                 "group_by": "manufacturer"}
+        assert "Nissan" in body["result"]
+        assert body["cached"] is False
+        assert len(body["fingerprint"]) == 64
+
+    def test_query_with_filters(self, nissan_db_path, capsys):
+        code = main(["query", "count", "--group-by", "tag",
+                     "--manufacturer", "Nissan",
+                     "--db", str(nissan_db_path)])
+        assert code == 0
+        body = json.loads(capsys.readouterr().out)
+        assert sum(body["result"].values()) > 0
+
+    def test_invalid_query_exits_2(self, nissan_db_path, capsys):
+        code = main(["query", "count", "--month-from", "nope",
+                     "--db", str(nissan_db_path)])
+        assert code == 2
+        assert "YYYY-MM" in capsys.readouterr().err
+
+    def test_unsupported_grouping_exits_2(self, nissan_db_path,
+                                          capsys):
+        code = main(["query", "apm", "--group-by", "month",
+                     "--db", str(nissan_db_path)])
+        assert code == 2
+        assert "cannot group by" in capsys.readouterr().err
+
+
+class TestServeVerb:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8350
+        assert args.cache_size == 256
+
+    def test_serve_endpoint_roundtrip(self, nissan_db_path):
+        import json as json_mod
+        import urllib.request
+
+        from repro.pipeline.store import FailureDatabase
+        from repro.query import QueryServer
+
+        db = FailureDatabase.load(nissan_db_path)
+        with QueryServer(db, port=0) as server:
+            with urllib.request.urlopen(
+                    server.url + "/healthz", timeout=10) as res:
+                body = json_mod.loads(res.read())
+        assert body["status"] == "ok"
+        assert body["fingerprint"] == db.fingerprint()
