@@ -1,0 +1,288 @@
+"""Parallel fan-out and tagger hot-path benchmarks.
+
+Three budgets guard this perf work:
+
+1. **End-to-end speedup** — ``--workers 4`` must beat serial by
+   >= 1.5x on a >= 4-core machine (scaled down to >= 1.1x on 2-3
+   cores, waived on a single core where parallel speedup is
+   physically impossible).  The parallel run is also asserted
+   byte-identical to serial, so the speedup can never be bought with
+   drift.
+2. **Serial overhead** — with ``--workers`` unset the runner must stay
+   within 5% of a pre-parallel replica of the same serial loop (the
+   fan-out plumbing may not tax people who don't use it).
+3. **Tagger index** — the inverted-index matcher must beat the
+   ``match_linear`` reference scan by >= 5x per record (this is the
+   core-count-independent part, asserted everywhere).
+
+Run as a script (``python benchmarks/bench_parallel.py``) for the
+self-contained report CI runs; ``--out`` additionally writes the
+measurements as JSON (the committed ``BENCH_pipeline.json`` baseline
+is a snapshot of that report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.nlp.dictionary import FailureDictionary
+from repro.nlp.evaluation import evaluate_tagger
+from repro.nlp.tagger import VotingTagger
+from repro.nlp.textcache import cached_tokens
+from repro.parsing import default_registry, filter_records
+from repro.parsing.normalize import normalize_records
+from repro.pipeline import (
+    FailureDatabase,
+    PipelineConfig,
+    StageGuard,
+    process_corpus,
+)
+from repro.pipeline import runner
+from repro.pipeline.stages import OcrStage, PipelineDiagnostics
+from repro.synth import generate_corpus
+
+SEED = 2018
+SUBSET = ["Nissan", "Volkswagen", "Delphi", "Tesla"]
+
+#: Parallel must beat serial by this much at 4 workers (>= 4 cores).
+SPEEDUP_BUDGET = 1.5
+#: Relaxed budget when only 2-3 cores are available.
+SPEEDUP_BUDGET_2CORE = 1.1
+#: Serial runs must stay within this fraction of the replica loop.
+OVERHEAD_BUDGET = 0.05
+#: Indexed matching must beat the linear reference scan by this much.
+INDEX_SPEEDUP_BUDGET = 5.0
+
+
+def _config(**overrides) -> PipelineConfig:
+    return PipelineConfig(seed=SEED, manufacturers=SUBSET, **overrides)
+
+
+def _replica_run(corpus, config: PipelineConfig) -> FailureDatabase:
+    """The pre-parallel serial pipeline loop, reproduced inline.
+
+    Exactly what ``process_corpus`` did before the fan-out layer
+    existed: the same per-unit helpers, no executor plumbing, no
+    stage timers.  Serves as the baseline for the serial-overhead
+    budget — and as a correctness witness, since its database must be
+    byte-identical to the real runner's.
+    """
+    diagnostics = PipelineDiagnostics()
+    database = FailureDatabase()
+    guard = StageGuard(policy=config.resolved_policy(),
+                       seed=config.seed,
+                       quarantine=database.quarantine)
+    diagnostics.health = guard.health
+    ocr_stage = OcrStage(
+        config.scanner_profile, config.correction_enabled,
+        config.fallback_threshold) if config.ocr_enabled else None
+    registry = default_registry()
+    raw_disengagements, raw_mileage = [], []
+    for document in corpus.disengagement_documents:
+        runner._process_disengagement(
+            document, config, diagnostics, database, guard, ocr_stage,
+            registry, raw_disengagements, raw_mileage, journal=False)
+    for document in corpus.accident_documents:
+        runner._process_accident(
+            document, config, diagnostics, database, guard, ocr_stage,
+            journal=False)
+    normalized, mileage, _ = normalize_records(
+        raw_disengagements, raw_mileage)
+    filtered, _ = filter_records(
+        normalized, drop_planned=config.drop_planned)
+    dictionary = guard.run(
+        "dictionary", "corpus",
+        lambda: runner._build_dictionary(filtered, config),
+        fallback=lambda: runner._degraded_dictionary())
+    tagger = VotingTagger(dictionary)
+    for record in filtered:
+        result = guard.run(
+            "tag", runner.record_id(record),
+            lambda: tagger.tag(record.description),
+            fallback=runner._unknown_tag)
+        record.tag = result.tag
+        record.category = result.category
+    if config.attach_truth:
+        evaluate_tagger(tagger, filtered)
+    database.disengagements = filtered
+    database.mileage = mileage
+    return database
+
+
+def _timed(func):
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (informational).
+# ----------------------------------------------------------------------
+
+def test_parallel_full_pipeline(benchmark):
+    corpus = generate_corpus(SEED, SUBSET)
+
+    def run():
+        return process_corpus(corpus, _config(workers=4))
+
+    result = benchmark(run)
+    assert result.diagnostics.parallel.enabled
+    assert len(result.database.disengagements) > 1000
+
+
+def test_indexed_match_micro(benchmark, db):
+    texts = [r.description for r in db.disengagements]
+    dictionary = FailureDictionary.build(texts)
+    token_lists = [cached_tokens(t) for t in texts]
+
+    def match_all():
+        for tokens in token_lists:
+            dictionary.match(tokens)
+
+    benchmark(match_all)
+
+
+# ----------------------------------------------------------------------
+# Self-contained report (what CI runs).
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="also write the measurements as JSON")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="pipeline timing rounds per variant "
+                             "(best-of; default: %(default)s)")
+    args = parser.parse_args(argv)
+    cores = os.cpu_count() or 1
+    report: dict = {"seed": SEED, "manufacturers": SUBSET,
+                    "cpu_count": cores}
+    failures: list[str] = []
+
+    print(f"synthesizing seed-{SEED} corpus "
+          f"({', '.join(SUBSET)}; {cores} core(s))...")
+    corpus = generate_corpus(SEED, SUBSET)
+    serial_result = process_corpus(corpus, _config())  # warm caches
+    serial_json = serial_result.database.to_json()
+    records = len(serial_result.database.disengagements)
+
+    # -- serial overhead vs the pre-parallel replica loop -------------
+    replica_db, _ = _timed(lambda: _replica_run(corpus, _config()))
+    assert replica_db.to_json() == serial_json, (
+        "replica loop diverged from the runner — overhead A/B void")
+    serial_times, replica_times = [], []
+    for _ in range(args.rounds):
+        serial_times.append(
+            _timed(lambda: process_corpus(corpus, _config()))[1])
+        replica_times.append(
+            _timed(lambda: _replica_run(corpus, _config()))[1])
+    serial_wall = min(serial_times)
+    replica_wall = min(replica_times)
+    overhead = serial_wall / replica_wall - 1.0
+    report["serial_wall_s"] = round(serial_wall, 4)
+    report["replica_wall_s"] = round(replica_wall, 4)
+    report["serial_overhead"] = round(overhead, 4)
+    print(f"\nserial runner:    {serial_wall:.3f}s over "
+          f"{records:,} records")
+    print(f"replica loop:     {replica_wall:.3f}s")
+    print(f"serial overhead:  {overhead:+.1%} "
+          f"(budget {OVERHEAD_BUDGET:.0%})")
+    if overhead > OVERHEAD_BUDGET:
+        failures.append(
+            f"serial overhead {overhead:+.1%} exceeds "
+            f"{OVERHEAD_BUDGET:.0%}")
+
+    # -- end-to-end speedup at 2 and 4 workers ------------------------
+    report["parallel"] = {}
+    for workers in (2, 4):
+        best = None
+        for _ in range(args.rounds):
+            result, wall = _timed(
+                lambda: process_corpus(corpus, _config(workers=workers)))
+            assert result.database.to_json() == serial_json, (
+                f"--workers {workers} output diverged from serial")
+            best = wall if best is None else min(best, wall)
+        speedup = serial_wall / best
+        report["parallel"][str(workers)] = {
+            "wall_s": round(best, 4), "speedup": round(speedup, 3)}
+        print(f"{workers} workers:        {best:.3f}s "
+              f"({speedup:.2f}x vs serial, byte-identical)")
+
+    speedup4 = report["parallel"]["4"]["speedup"]
+    if cores >= 4:
+        budget = SPEEDUP_BUDGET
+    elif cores >= 2:
+        budget = SPEEDUP_BUDGET_2CORE
+    else:
+        budget = None
+    report["speedup_budget"] = budget
+    if budget is None:
+        print(f"speedup budget:   waived (single-core machine)")
+    else:
+        print(f"speedup budget:   >={budget:.1f}x at 4 workers "
+              f"({cores} cores)")
+        if speedup4 < budget:
+            failures.append(
+                f"4-worker speedup {speedup4:.2f}x under the "
+                f"{budget:.1f}x budget on {cores} cores")
+
+    # -- tagger hot path: inverted index vs linear reference ----------
+    texts = [r.description for r in serial_result.database.disengagements]
+    dictionary = FailureDictionary.build(texts)
+    token_lists = [cached_tokens(t) for t in texts]
+    sample = token_lists[:400]
+    for tokens in sample:  # parity spot-check rides along
+        assert dictionary.match(tokens) == dictionary.match_linear(tokens)
+
+    def indexed():
+        for tokens in token_lists:
+            dictionary.match(tokens)
+
+    def linear():
+        for tokens in sample:
+            dictionary.match_linear(tokens)
+
+    _, indexed_s = _timed(indexed)
+    _, linear_sample_s = _timed(linear)
+    indexed_per = indexed_s / len(token_lists)
+    linear_per = linear_sample_s / len(sample)
+    index_speedup = linear_per / indexed_per
+    tagger = VotingTagger(dictionary)
+    _, tag_s = _timed(lambda: [tagger.tag(t) for t in texts])
+    records_per_s = len(texts) / tag_s
+    report["tagger"] = {
+        "entries": len(dictionary),
+        "indexed_us_per_record": round(indexed_per * 1e6, 2),
+        "linear_us_per_record": round(linear_per * 1e6, 2),
+        "index_speedup": round(index_speedup, 1),
+        "records_per_s": round(records_per_s, 1),
+    }
+    print(f"\ntagger dictionary: {len(dictionary):,} entries over "
+          f"{len(texts):,} narratives")
+    print(f"  indexed match:  {indexed_per * 1e6:8.1f} us/record")
+    print(f"  linear match:   {linear_per * 1e6:8.1f} us/record")
+    print(f"  index speedup:  {index_speedup:8.1f}x "
+          f"(budget >={INDEX_SPEEDUP_BUDGET:.0f}x)")
+    print(f"  end-to-end tag: {records_per_s:8,.0f} records/s")
+    if index_speedup < INDEX_SPEEDUP_BUDGET:
+        failures.append(
+            f"index speedup {index_speedup:.1f}x under the "
+            f"{INDEX_SPEEDUP_BUDGET:.0f}x budget")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nreport written to {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nall budgets met.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from .pipeline import (
     run_pipeline,
 )
 from .pipeline.chaos import CHAOS_KINDS, CRASH_POINTS
+from .pipeline.parallel import WORKER_MODES
 from .pipeline.resilience import POLICY_MODES
 from .rng import DEFAULT_SEED
 
@@ -89,6 +90,14 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-checkpoint", action="store_true",
                         help="disable checkpointing even when "
                              "--checkpoint-dir is set")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="fan Stage II-III out across this many "
+                             "workers (0 = serial; output is "
+                             "byte-identical either way)")
+    parser.add_argument("--worker-mode", choices=WORKER_MODES,
+                        default="auto",
+                        help="worker pool kind (default: %(default)s; "
+                             "auto picks processes at >= 2 workers)")
 
 
 def _config_from(args: argparse.Namespace) -> PipelineConfig:
@@ -118,6 +127,8 @@ def _config_from(args: argparse.Namespace) -> PipelineConfig:
         resume=args.resume,
         checkpoint_enabled=not args.no_checkpoint,
         crash=crash,
+        workers=args.workers,
+        worker_mode=args.worker_mode,
     )
 
 
@@ -136,7 +147,8 @@ def _print_run_summary(result) -> None:
     from .reporting.summary import render_run_health
 
     print(render_run_health(diagnostics.health,
-                            result.database.quarantine))
+                            result.database.quarantine,
+                            parallel=diagnostics.parallel))
 
 
 def _save_database(result, out: str) -> None:

@@ -13,6 +13,7 @@ from .normalize import normalize_tokens, STOPWORDS
 from .ngrams import ngrams, phrase_candidates
 from .dictionary import FailureDictionary, SEED_PHRASES
 from .tagger import TagResult, VotingTagger, FirstMatchTagger
+from .textcache import TokenCache, cached_tokens, token_cache
 from .ontology import Ontology
 from .evaluation import TaggingReport, evaluate_tagger
 
@@ -28,6 +29,9 @@ __all__ = [
     "TagResult",
     "VotingTagger",
     "FirstMatchTagger",
+    "TokenCache",
+    "cached_tokens",
+    "token_cache",
     "Ontology",
     "TaggingReport",
     "evaluate_tagger",

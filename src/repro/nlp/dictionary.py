@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from ..taxonomy import FaultTag
 from .ngrams import all_ngrams
 from .normalize import normalize_tokens
+from .textcache import cached_tokens
 from .tokenize import tokenize
 
 #: Hand-curated seed phrases per tag (surface form; normalized at
@@ -100,31 +101,50 @@ class DictionaryEntry:
     source: str  # "seed" or "learned"
 
 
+#: One inverted-index slot: the phrase as a list (so a candidate test
+#: is a plain list-slice comparison, no per-probe tuple allocation),
+#: its length, and the entry it belongs to.
+_Candidate = tuple[list[str], int, DictionaryEntry]
+
+
 @dataclass
 class FailureDictionary:
-    """Phrase -> tag dictionary with match weights."""
+    """Phrase -> tag dictionary with match weights.
+
+    Matching runs through an inverted index built once per dictionary
+    (first phrase token -> candidate entries), so :meth:`match` costs
+    O(tokens) plus the handful of candidates that share a first token —
+    instead of the O(tokens x entries) full scan that
+    :meth:`match_linear` preserves as the reference implementation.
+    """
 
     entries: list[DictionaryEntry] = field(default_factory=list)
-    #: Index from a phrase's first token to candidate entries.
-    _index: dict[str, list[DictionaryEntry]] = field(
-        default_factory=dict, repr=False)
+    #: Inverted index: first phrase token -> candidates.
+    _index: dict[str, list[_Candidate]] = field(
+        default_factory=dict, repr=False, compare=False)
+    #: O(1) ``add`` dedupe on (phrase, tag).
+    _seen: set[tuple[tuple[str, ...], FaultTag]] = field(
+        default_factory=set, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._reindex()
 
     def _reindex(self) -> None:
-        self._index = defaultdict(list)
+        self._index = {}
+        self._seen = {(e.phrase, e.tag) for e in self.entries}
         for entry in self.entries:
-            self._index[entry.phrase[0]].append(entry)
+            self._index.setdefault(entry.phrase[0], []).append(
+                (list(entry.phrase), len(entry.phrase), entry))
 
     def add(self, entry: DictionaryEntry) -> None:
         """Add one entry (idempotent on (phrase, tag))."""
-        for existing in self.entries:
-            if (existing.phrase == entry.phrase
-                    and existing.tag == entry.tag):
-                return
+        key = (entry.phrase, entry.tag)
+        if key in self._seen:
+            return
+        self._seen.add(key)
         self.entries.append(entry)
-        self._index[entry.phrase[0]].append(entry)
+        self._index.setdefault(entry.phrase[0], []).append(
+            (list(entry.phrase), len(entry.phrase), entry))
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -134,10 +154,42 @@ class FailureDictionary:
         return [e.phrase for e in self.entries if e.tag == tag]
 
     def match(self, tokens: list[str]) -> list[DictionaryEntry]:
-        """All entries whose phrase occurs in ``tokens``."""
+        """All entries whose phrase occurs in ``tokens``.
+
+        One list element per occurrence, ordered by occurrence
+        position then entry insertion order — identical to
+        :meth:`match_linear` output (the voting weights depend on it).
+        """
         matches: list[DictionaryEntry] = []
+        index = self._index
         for position, token in enumerate(tokens):
-            for entry in self._index.get(token, ()):
+            candidates = index.get(token)
+            if candidates is None:
+                continue
+            for phrase, n, entry in candidates:
+                if n == 1 or tokens[position:position + n] == phrase:
+                    matches.append(entry)
+        return matches
+
+    def match_at(self, tokens: list[str],
+                 position: int) -> list[DictionaryEntry]:
+        """Entries whose phrase starts exactly at ``position``."""
+        candidates = self._index.get(tokens[position])
+        if candidates is None:
+            return []
+        return [entry for phrase, n, entry in candidates
+                if n == 1 or tokens[position:position + n] == phrase]
+
+    def match_linear(self, tokens: list[str]) -> list[DictionaryEntry]:
+        """Reference full-scan matcher (pre-index implementation).
+
+        Kept for the parity tests and as the benchmark baseline that
+        quantifies what the inverted index buys; output is identical
+        to :meth:`match`, element for element.
+        """
+        matches: list[DictionaryEntry] = []
+        for position in range(len(tokens)):
+            for entry in self.entries:
                 n = len(entry.phrase)
                 if tuple(tokens[position:position + n]) == entry.phrase:
                     matches.append(entry)
@@ -206,7 +258,8 @@ class FailureDictionary:
         immediate manual control" carries no causal signal).
         """
         dictionary = cls.from_seeds(seeds)
-        token_lists = [normalize_tokens(tokenize(t)) for t in texts]
+        # Memoized: the tagging stage re-tokenizes the same narratives.
+        token_lists = [cached_tokens(t) for t in texts]
         total = max(len(token_lists), 1)
 
         # Pass 1: tag each narrative with the seed dictionary alone.

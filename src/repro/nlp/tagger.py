@@ -14,8 +14,7 @@ from dataclasses import dataclass, field
 
 from ..taxonomy import FailureCategory, FaultTag, category_of
 from .dictionary import DictionaryEntry, FailureDictionary
-from .normalize import normalize_tokens
-from .tokenize import tokenize
+from .textcache import cached_tokens
 
 
 @dataclass
@@ -40,7 +39,7 @@ class VotingTagger:
 
     def tag(self, text: str) -> TagResult:
         """Assign a fault tag to one narrative."""
-        tokens = normalize_tokens(tokenize(text))
+        tokens = cached_tokens(text)
         matches = self.dictionary.match(tokens)
         votes: Counter = Counter()
         for entry in matches:
@@ -80,15 +79,12 @@ class FirstMatchTagger:
 
     def tag(self, text: str) -> TagResult:
         """Assign the tag of the earliest phrase occurrence."""
-        tokens = normalize_tokens(tokenize(text))
+        tokens = cached_tokens(text)
         earliest: tuple[int, DictionaryEntry] | None = None
         for position in range(len(tokens)):
-            for entry in self.dictionary.match(tokens[position:]):
-                if tuple(tokens[position:position + len(entry.phrase)]) \
-                        == entry.phrase:
-                    earliest = (position, entry)
-                    break
-            if earliest is not None:
+            here = self.dictionary.match_at(tokens, position)
+            if here:
+                earliest = (position, here[0])
                 break
         if earliest is None:
             return TagResult(

@@ -27,6 +27,12 @@ from .checkpoint import (
     config_fingerprint,
 )
 from .config import PipelineConfig
+from .parallel import (
+    PROCESS_POOL_MIN_WORKERS,
+    WORKER_MODES,
+    ParallelExecutor,
+    ParallelStats,
+)
 from .resilience import (
     CheckpointHealth,
     FailurePolicy,
@@ -50,10 +56,14 @@ __all__ = [
     "CrashController",
     "CrashPoint",
     "FailurePolicy",
+    "PROCESS_POOL_MIN_WORKERS",
+    "ParallelExecutor",
+    "ParallelStats",
     "PipelineConfig",
     "FailureDatabase",
     "PipelineDiagnostics",
     "PipelineResult",
+    "WORKER_MODES",
     "Quarantine",
     "QuarantineEntry",
     "RunHealth",

@@ -404,11 +404,13 @@ def config_fingerprint(config: Any) -> str:
     """A stable digest of every config knob that shapes the output.
 
     Two runs share checkpoints only if their fingerprints match.
-    Checkpointing knobs themselves and the kill-point
-    (:class:`~repro.pipeline.chaos.CrashPoint`) are deliberately
+    Checkpointing knobs themselves, the kill-point
+    (:class:`~repro.pipeline.chaos.CrashPoint`), and the
+    ``workers``/``worker_mode`` parallelism knobs are deliberately
     excluded: a crash aborts a run but never changes any unit's
-    output, so a resumed run may drop ``--crash-at`` and still adopt
-    the pre-crash checkpoints.
+    output, and a worker pool is an execution strategy with
+    byte-identical output — so a resume may drop ``--crash-at`` or
+    switch worker counts and still adopt the pre-crash checkpoints.
     """
     chaos = None
     if config.chaos is not None:

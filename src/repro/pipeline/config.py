@@ -9,6 +9,7 @@ from ..ocr.fallback import DEFAULT_CONFIDENCE_THRESHOLD
 from ..ocr.scanner import ScannerProfile
 from ..rng import DEFAULT_SEED
 from .chaos import ChaosConfig, CrashPoint
+from .parallel import PROCESS_POOL_MIN_WORKERS, WORKER_MODES
 from .resilience import POLICY_MODES, FailurePolicy
 
 
@@ -64,6 +65,14 @@ class PipelineConfig:
     #: Optional kill-point injection: die hard at a named pipeline
     #: boundary (crash-recovery testing only).
     crash: CrashPoint | None = None
+    #: Fan Stage II-III out across this many workers (0 = serial, the
+    #: historical behavior; any count produces byte-identical output).
+    workers: int = 0
+    #: Executor selection: ``auto`` picks a process pool from
+    #: :data:`~repro.pipeline.parallel.PROCESS_POOL_MIN_WORKERS`
+    #: workers up and the threaded fallback below it; ``thread`` /
+    #: ``process`` force one kind.
+    worker_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.dictionary_mode not in ("seed", "expanded"):
@@ -87,11 +96,37 @@ class PipelineConfig:
         if self.resume and self.checkpoint_dir is None:
             raise ValueError(
                 "resume=True requires a checkpoint_dir to resume from")
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0, got {self.workers}")
+        if self.worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {WORKER_MODES}, got "
+                f"{self.worker_mode!r}")
 
     @property
     def checkpointing_active(self) -> bool:
         """Whether this run journals (and may restore) checkpoints."""
         return self.checkpoint_dir is not None and self.checkpoint_enabled
+
+    def resolved_parallelism(self) -> tuple[int, str]:
+        """``(worker count, executor mode)`` for this run.
+
+        ``workers=0`` resolves to ``(0, "serial")`` — the historical
+        single-process path, untouched.  Worker count and mode are
+        deliberately excluded from the checkpoint
+        :func:`~repro.pipeline.checkpoint.config_fingerprint`: they
+        choose an execution strategy, never an output, so a run
+        crashed under 4 workers may resume serially (or vice versa)
+        and still reproduce the uninterrupted database byte for byte.
+        """
+        if self.workers <= 0:
+            return 0, "serial"
+        if self.worker_mode == "auto":
+            return self.workers, (
+                "process" if self.workers >= PROCESS_POOL_MIN_WORKERS
+                else "thread")
+        return self.workers, self.worker_mode
 
     def resolved_policy(self) -> FailurePolicy:
         """The :class:`FailurePolicy` these knobs describe."""

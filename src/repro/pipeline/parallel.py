@@ -1,0 +1,399 @@
+"""Deterministic multi-worker fan-out for Stage II-III (perf layer).
+
+The per-document Stage II work (OCR -> parse -> filter) and the
+per-record Stage III tagging are embarrassingly parallel: every unit
+draws its randomness from its own child stream of the pipeline seed
+(see :mod:`repro.rng`), so no unit's output depends on when — or in
+which worker — it runs.  This module exploits that:
+
+* Workers compute each unit in isolation and return its **journal
+  body** — the exact JSON-serializable outcome record the checkpoint
+  layer already defines — plus sidecar deltas (OCR stats, resilience
+  health, wall time) that never touch the journal format.
+* The **coordinator** merges results strictly in original corpus
+  order: records enter the database, quarantine entries are adopted,
+  health counters accumulate, and checkpoint journals are appended in
+  exactly the sequence the serial pipeline would have produced them.
+  The saved :class:`~repro.pipeline.store.FailureDatabase` is
+  byte-identical to a serial run — under quarantine, chaos
+  injection, and crash -> resume alike.
+
+Worker pools come from :mod:`concurrent.futures`: a process pool for
+real CPU parallelism, with a thread pool as the low-worker-count
+fallback (one worker, or an explicit ``worker_mode="thread"``) where
+process spawn cost would dominate.  Checkpoint journals are written
+only by the coordinator, and :class:`~repro.pipeline.chaos.CrashPoint`
+kill points fire in the coordinator's merge loop, so ``--resume`` and
+``--crash-at`` semantics are unchanged under N workers.
+
+Failure-policy semantics are preserved per unit:
+
+* ``quarantine`` — a worker dead-letters the unit locally and ships
+  the quarantine entry home inside the journal body.
+* ``threshold``  — workers capture failures like ``quarantine``; the
+  coordinator re-enforces the stage error-rate threshold on the
+  *merged* counters after each unit, so the run aborts at the same
+  unit (with the same message) as a serial run.
+* ``fail_fast``  — the worker converts the
+  :class:`~repro.errors.PipelineError` verdict into a marker that the
+  coordinator re-raises when the failing unit's turn comes up in
+  corpus order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner
+    from .config import PipelineConfig  # imports this module)
+
+#: Recognized executor selection modes for ``PipelineConfig.worker_mode``.
+WORKER_MODES = ("auto", "thread", "process")
+
+#: ``auto`` mode uses a process pool from this many workers up; below
+#: it (i.e. a single worker) the threaded fallback avoids process
+#: spawn + transfer cost that parallelism could never repay.
+PROCESS_POOL_MIN_WORKERS = 2
+
+
+# ----------------------------------------------------------------------
+# Diagnostics.
+# ----------------------------------------------------------------------
+
+@dataclass
+class ParallelStats:
+    """What the parallel layer observed about one run.
+
+    Lives on :class:`~repro.pipeline.stages.PipelineDiagnostics`;
+    stage wall times are recorded for serial runs too (they cost a
+    handful of ``perf_counter`` calls), the worker fields only when a
+    pool was actually used.
+    """
+
+    #: Configured worker count (0 = serial).
+    workers: int = 0
+    #: Resolved executor kind: ``serial``, ``thread``, or ``process``.
+    mode: str = "serial"
+    #: Stage name -> coordinator wall-clock seconds.
+    stage_wall_s: dict[str, float] = field(default_factory=dict)
+    #: Units of work computed by the pool (not restored, not serial).
+    parallel_units: int = 0
+    #: Summed worker-side compute seconds across those units — the
+    #: serial-time estimate for the fanned-out portion of the run.
+    unit_compute_s: float = 0.0
+    #: Coordinator wall-clock seconds spent in fanned-out stages.
+    parallel_wall_s: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this run actually fanned work out."""
+        return self.mode != "serial"
+
+    @property
+    def speedup_estimate(self) -> float | None:
+        """Estimated speedup of the fanned-out stages vs serial.
+
+        The ratio of summed per-unit worker compute time (what a
+        serial run would have spent) to the coordinator wall time of
+        the parallel stages.  ``None`` for serial runs.
+        """
+        if not self.enabled or self.parallel_wall_s <= 0.0:
+            return None
+        return self.unit_compute_s / self.parallel_wall_s
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly digest (mirrors the health summaries)."""
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "parallel_units": self.parallel_units,
+            "unit_compute_s": self.unit_compute_s,
+            "parallel_wall_s": self.parallel_wall_s,
+            "speedup_estimate": self.speedup_estimate,
+            "stage_wall_s": dict(self.stage_wall_s),
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-side state.
+# ----------------------------------------------------------------------
+
+@dataclass
+class UnitOutcome:
+    """What one worker computed for one unit of work.
+
+    ``body`` is the unit's checkpoint-journal body (``None`` only when
+    ``error`` carries a ``fail_fast`` verdict); the remaining fields
+    are coordinator-side sidecars that never enter the journal, so the
+    journal format stays identical to serial runs.
+    """
+
+    body: dict[str, Any] | None
+    #: Per-stage resilience counter deltas + degradation events.
+    health: dict[str, Any]
+    #: ``fail_fast`` verdict to re-raise at merge time (the serialized
+    #: :class:`~repro.errors.PipelineError` message).
+    error: str | None = None
+    #: OCR stage deltas (``None`` when the unit never entered OCR).
+    ocr: dict[str, Any] | None = None
+    #: Worker-side wall seconds spent computing the unit.
+    elapsed: float = 0.0
+    #: Chaos faults injected while computing the unit.
+    injected: int = 0
+
+
+#: Pickled ``(config, dictionary_json | None)`` for the current pool,
+#: set by the pool initializer (per process, shared across threads).
+_WORKER_PAYLOAD: bytes | None = None
+
+#: Per-thread lazily built worker state.  Thread pools need the
+#: isolation (the OCR stage carries mutable accounting state); in a
+#: process pool each single-threaded worker simply gets one.
+_TLS = threading.local()
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: stash the run payload for lazy state builds."""
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    _TLS.__dict__.pop("state", None)
+
+
+class _WorkerState:
+    """Everything a worker builds once and reuses across its units."""
+
+    def __init__(self, config: "PipelineConfig",
+                 dictionary_json: str | None) -> None:
+        from ..parsing import default_registry
+        from .resilience import FailurePolicy
+        from .stages import OcrStage
+
+        self.config = config
+        # ``threshold`` enforcement needs run-global counters, which
+        # only the coordinator has: workers capture failures like
+        # ``quarantine`` and the coordinator re-checks the threshold
+        # on the merged stats.
+        mode = config.failure_policy
+        self.policy = FailurePolicy(
+            mode=("quarantine" if mode == "threshold" else mode),
+            max_error_rate=config.max_error_rate,
+            max_retries=config.max_retries)
+        self.registry = default_registry()
+        self.ocr_stage = (OcrStage(config.scanner_profile,
+                                   config.correction_enabled,
+                                   config.fallback_threshold)
+                          if config.ocr_enabled else None)
+        self.tagger = None
+        if dictionary_json is not None:
+            from ..nlp.dictionary import FailureDictionary
+            from ..nlp.tagger import VotingTagger
+
+            self.tagger = VotingTagger(
+                FailureDictionary.from_json(dictionary_json))
+
+    def guard(self, quarantine):
+        """A fresh per-unit guard (so health deltas are per unit)."""
+        from .chaos import ChaosInjector
+        from .resilience import StageGuard
+
+        chaos = (ChaosInjector(self.config.chaos, self.config.seed)
+                 if self.config.chaos is not None else None)
+        return StageGuard(policy=self.policy, seed=self.config.seed,
+                          quarantine=quarantine, chaos=chaos)
+
+
+def _worker_state() -> _WorkerState:
+    state = getattr(_TLS, "state", None)
+    if state is None:
+        if _WORKER_PAYLOAD is None:  # pragma: no cover - misuse guard
+            raise RuntimeError("worker used outside an initialized pool")
+        config, dictionary_json = pickle.loads(_WORKER_PAYLOAD)
+        state = _WorkerState(config, dictionary_json)
+        _TLS.state = state
+    return state
+
+
+def _health_delta(guard) -> dict[str, Any]:
+    """A worker guard's counters as a mergeable, picklable delta."""
+    return {
+        "stages": {
+            name: [s.attempts, s.errors, s.retries,
+                   s.degradations, s.quarantined]
+            for name, s in guard.health.stages.items()
+            if s.attempts or s.errors or s.retries
+        },
+        "events": list(guard.health.degradation_events),
+    }
+
+
+def _stage2_unit(task: tuple[str, Any]) -> UnitOutcome:
+    """Compute one Stage II document in isolation.
+
+    Runs the exact live-path function the serial runner uses, against
+    a unit-local guard/diagnostics/database, and returns the journal
+    body it produced.  A ``fail_fast`` abort is shipped home as an
+    error marker for the coordinator to re-raise in corpus order.
+    """
+    kind, document = task
+    from ..errors import PipelineError
+    from . import runner
+    from .stages import PipelineDiagnostics
+    from .store import FailureDatabase
+
+    state = _worker_state()
+    started = time.perf_counter()
+    diagnostics = PipelineDiagnostics()
+    database = FailureDatabase()
+    guard = state.guard(database.quarantine)
+    queue = (state.ocr_stage.queue if state.ocr_stage is not None
+             else None)
+    pages_before = queue.pages_transcribed if queue is not None else 0
+    lines_before = queue.lines_transcribed if queue is not None else 0
+    body, error = None, None
+    try:
+        if kind == "disengagement":
+            body = runner._process_disengagement(
+                document, state.config, diagnostics, database, guard,
+                state.ocr_stage, state.registry, [], [], journal=True)
+        else:
+            body = runner._process_accident(
+                document, state.config, diagnostics, database, guard,
+                state.ocr_stage, journal=True)
+    except PipelineError as exc:
+        error = str(exc)
+    ocr = None
+    if diagnostics.ocr.documents:
+        ocr = {
+            "pages": diagnostics.ocr.pages,
+            "lines": diagnostics.ocr.lines,
+            # One document: the running mean IS its confidence.
+            "confidence": diagnostics.ocr.mean_confidence,
+            "fallback_pages": queue.pages_transcribed - pages_before,
+            "fallback_lines": queue.lines_transcribed - lines_before,
+        }
+    return UnitOutcome(
+        body=body, health=_health_delta(guard), error=error, ocr=ocr,
+        elapsed=time.perf_counter() - started,
+        injected=guard.chaos.injected if guard.chaos is not None else 0)
+
+
+def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
+    """Tag one record in isolation (same guard semantics as serial)."""
+    record_id, text = task
+    from ..errors import PipelineError
+    from . import runner
+    from .resilience import Quarantine
+
+    state = _worker_state()
+    started = time.perf_counter()
+    guard = state.guard(Quarantine())
+    body, error = None, None
+    try:
+        result = guard.run("tag", record_id,
+                           lambda: state.tagger.tag(text),
+                           fallback=runner._unknown_tag)
+        body = {"tag": result.tag.value,
+                "category": result.category.value}
+    except PipelineError as exc:
+        error = str(exc)
+    return UnitOutcome(
+        body=body, health=_health_delta(guard), error=error,
+        elapsed=time.perf_counter() - started,
+        injected=guard.chaos.injected if guard.chaos is not None else 0)
+
+
+# ----------------------------------------------------------------------
+# Coordinator-side pool management.
+# ----------------------------------------------------------------------
+
+def worker_config(config: "PipelineConfig") -> "PipelineConfig":
+    """The slice of the run config a worker needs.
+
+    Crash points, checkpointing, and nested parallelism are
+    coordinator concerns; stripping them keeps the worker payload
+    small and makes it impossible for a worker to journal, crash the
+    run, or spawn its own pool.
+    """
+    return replace(config, crash=None, checkpoint_dir=None,
+                   resume=False, workers=0, worker_mode="auto")
+
+
+class ParallelExecutor:
+    """Owns the worker pool(s) for one pipeline run.
+
+    Stage II and Stage III need different worker payloads (the tagging
+    pool carries the built failure dictionary), so the pool is rebuilt
+    whenever the payload changes; within a stage it is reused across
+    ``map`` calls.  ``close`` is idempotent and safe mid-exception —
+    the runner calls it from a ``finally`` so a
+    :class:`~repro.pipeline.chaos.SimulatedCrash` or a policy abort
+    still tears the pool down.
+    """
+
+    def __init__(self, config: "PipelineConfig",
+                 stats: ParallelStats) -> None:
+        self.workers, self.mode = config.resolved_parallelism()
+        if self.mode == "serial":  # pragma: no cover - misuse guard
+            raise ValueError("ParallelExecutor needs workers >= 1")
+        self._config = worker_config(config)
+        self.stats = stats
+        stats.workers = self.workers
+        stats.mode = self.mode
+        self._pool: Executor | None = None
+        self._payload: bytes | None = None
+
+    def _ensure_pool(self, dictionary_json: str | None) -> Executor:
+        payload = pickle.dumps((self._config, dictionary_json))
+        if self._pool is not None and payload == self._payload:
+            return self._pool
+        self.close()
+        self._payload = payload
+        if self.mode == "thread":
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-worker",
+                initializer=_init_worker, initargs=(payload,))
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker, initargs=(payload,))
+        return self._pool
+
+    def map_documents(self,
+                      tasks: Iterable[tuple[str, Any]],
+                      ) -> Iterator[UnitOutcome]:
+        """Fan Stage II documents out; yields in submission order.
+
+        Documents are coarse, unevenly sized units — chunk size 1
+        keeps the pool load-balanced.
+        """
+        return self._ensure_pool(None).map(
+            _stage2_unit, tasks, chunksize=1)
+
+    def map_tags(self, dictionary_json: str,
+                 tasks: list[tuple[str, str]],
+                 ) -> Iterator[UnitOutcome]:
+        """Fan Stage III tagging out; yields in submission order.
+
+        Records are tiny uniform units, so they ship in chunks to
+        amortize the per-task IPC cost.
+        """
+        chunksize = max(1, len(tasks) // (self.workers * 8) or 1)
+        return self._ensure_pool(dictionary_json).map(
+            _stage3_unit, tasks, chunksize=chunksize)
+
+    def close(self) -> None:
+        """Tear the pool down, dropping queued (not yet running) work.
+
+        ``cancel_futures`` bounds the teardown after an abort
+        (``fail_fast``, threshold, :class:`SimulatedCrash`); waiting
+        for the in-flight units keeps interpreter shutdown clean.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

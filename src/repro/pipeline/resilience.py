@@ -416,6 +416,19 @@ class StageGuard:
             f"{type(exc).__name__}: {exc}",
             unit_id=unit_id, stage=stage) from exc
 
+    def check_threshold(self, stage: str) -> None:
+        """Enforce the ``threshold`` policy on ``stage``'s counters.
+
+        The serial path enforces the threshold inside
+        :meth:`run` as each failure lands; the parallel coordinator
+        calls this after merging a worker's health delta so the merged
+        (run-global) counters — not any worker's local view — decide
+        when the run aborts, at the same unit a serial run would.
+        A non-``threshold`` policy makes this a no-op.
+        """
+        if self.policy.mode == "threshold":
+            self._enforce_threshold(stage, self.health.stage(stage))
+
     def _enforce_threshold(self, stage: str,
                            stats: StageHealth) -> None:
         if stats.attempts < self.policy.min_samples:

@@ -24,10 +24,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 import warnings
 from dataclasses import asdict, dataclass
 
-from ..errors import DegradedModeWarning, ParseError, QuarantinedError
+from ..errors import (
+    DegradedModeWarning,
+    ParseError,
+    PipelineError,
+    QuarantinedError,
+)
 from ..nlp.dictionary import FailureDictionary
 from ..nlp.evaluation import evaluate_tagger
 from ..nlp.tagger import VotingTagger
@@ -54,6 +60,7 @@ from ..taxonomy import FailureCategory, FaultTag, category_of
 from .chaos import ChaosInjector, CrashController
 from .checkpoint import CheckpointStore, config_fingerprint
 from .config import PipelineConfig
+from .parallel import ParallelExecutor, ParallelStats, UnitOutcome
 from .resilience import QuarantineEntry, StageGuard
 from .stages import OcrStage, PipelineDiagnostics
 from .store import FailureDatabase
@@ -106,8 +113,25 @@ def _process(corpus: SyntheticCorpus, config: PipelineConfig,
              diagnostics: PipelineDiagnostics,
              database: FailureDatabase, guard: StageGuard,
              store: CheckpointStore | None) -> PipelineResult:
+    executor = None
+    if config.resolved_parallelism()[1] != "serial":
+        executor = ParallelExecutor(config, diagnostics.parallel)
+    try:
+        return _run_stages(corpus, config, diagnostics, database,
+                           guard, store, executor)
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def _run_stages(corpus: SyntheticCorpus, config: PipelineConfig,
+                diagnostics: PipelineDiagnostics,
+                database: FailureDatabase, guard: StageGuard,
+                store: CheckpointStore | None,
+                executor: ParallelExecutor | None) -> PipelineResult:
     crash = CrashController(config.crash)
     checkpoint = guard.health.checkpoint
+    par = diagnostics.parallel
     ocr_stage = OcrStage(
         config.scanner_profile, config.correction_enabled,
         config.fallback_threshold) if config.ocr_enabled else None
@@ -116,46 +140,29 @@ def _process(corpus: SyntheticCorpus, config: PipelineConfig,
     # ---- Stage II: disengagement reports (per-document) --------------
     raw_disengagements: list[DisengagementRecord] = []
     raw_mileage: list[MonthlyMileage] = []
-    restored_docs = store.restored("documents") if store else {}
-    documents = corpus.disengagement_documents
-    for index, document in enumerate(documents):
-        crash.reached_mid("mid-parse-documents", index, len(documents))
-        entry = restored_docs.get(document.document_id)
-        if entry is not None and _restore_disengagement(
-                entry, diagnostics, database, guard,
-                raw_disengagements, raw_mileage):
-            checkpoint.restored_units += 1
-            continue
-        body = _process_disengagement(
-            document, config, diagnostics, database, guard,
-            ocr_stage, registry, raw_disengagements, raw_mileage,
-            journal=store is not None)
-        if store is not None:
-            store.append("documents", document.document_id, body)
-            checkpoint.recomputed_units += 1
+    started = time.perf_counter()
+    _stage2_disengagements(
+        corpus.disengagement_documents, config, diagnostics, database,
+        guard, store, crash, ocr_stage, registry, executor,
+        raw_disengagements, raw_mileage)
+    _mark_stage(par, "parse-documents", started, executor is not None)
     crash.reached("parse-documents")
     if store is not None:
         store.sync()
 
     # ---- Stage II: accident reports (per-document) -------------------
-    restored_accidents = store.restored("accidents") if store else {}
-    for document in corpus.accident_documents:
-        entry = restored_accidents.get(document.document_id)
-        if entry is not None and _restore_accident(
-                entry, diagnostics, database, guard):
-            checkpoint.restored_units += 1
-            continue
-        body = _process_accident(
-            document, config, diagnostics, database, guard, ocr_stage,
-            journal=store is not None)
-        if store is not None:
-            store.append("accidents", document.document_id, body)
-            checkpoint.recomputed_units += 1
+    started = time.perf_counter()
+    _stage2_accidents(
+        corpus.accident_documents, config, diagnostics, database,
+        guard, store, crash, ocr_stage, executor)
+    _mark_stage(par, "accident-documents", started,
+                executor is not None)
     crash.reached("accident-documents")
     if store is not None:
         store.sync()
 
     # ---- Stage II/III boundary: normalize + filter -------------------
+    started = time.perf_counter()
     restored_norm = _restore_normalized(store, config, diagnostics,
                                         checkpoint)
     if restored_norm is not None:
@@ -174,9 +181,11 @@ def _process(corpus: SyntheticCorpus, config: PipelineConfig,
                 "normalization": asdict(norm_stats),
                 "filters": asdict(filter_stats),
             })
+    _mark_stage(par, "normalize", started)
     crash.reached("normalize")
 
     # ---- Stage III: dictionary + tagging -----------------------------
+    started = time.perf_counter()
     dictionary = _restore_dictionary(store, config, checkpoint)
     if dictionary is None:
         dictionary = guard.run(
@@ -187,41 +196,265 @@ def _process(corpus: SyntheticCorpus, config: PipelineConfig,
             store.write_artifact(
                 "dictionary", json.loads(dictionary.to_json()))
     diagnostics.dictionary_entries = len(dictionary)
+    _mark_stage(par, "dictionary", started)
     crash.reached("dictionary")
 
     tagger = VotingTagger(dictionary)
+    started = time.perf_counter()
+    _stage3_tags(filtered, dictionary, tagger, config, guard, store,
+                 crash, checkpoint, executor, par)
+    _mark_stage(par, "tag", started, executor is not None)
+    crash.reached("tag")
+    if store is not None:
+        store.sync()
+
+    if config.attach_truth:
+        started = time.perf_counter()
+        diagnostics.tagging = evaluate_tagger(tagger, filtered)
+        _mark_stage(par, "evaluate", started)
+
+    database.disengagements = filtered
+    database.mileage = mileage
+    return PipelineResult(
+        database=database, diagnostics=diagnostics, config=config)
+
+
+def _mark_stage(par: ParallelStats, stage: str, started: float,
+                fanned: bool = False) -> None:
+    """Record one stage's coordinator wall time."""
+    elapsed = time.perf_counter() - started
+    par.stage_wall_s[stage] = (
+        par.stage_wall_s.get(stage, 0.0) + elapsed)
+    if fanned:
+        par.parallel_wall_s += elapsed
+
+
+# ----------------------------------------------------------------------
+# Stage loops.  Each has a serial branch (the historical loop,
+# byte-for-byte) and a parallel branch that fans units out to the
+# worker pool and merges the outcomes back in original corpus order.
+# ----------------------------------------------------------------------
+
+def _stage2_disengagements(documents, config: PipelineConfig,
+                           diagnostics: PipelineDiagnostics,
+                           database: FailureDatabase,
+                           guard: StageGuard,
+                           store: CheckpointStore | None,
+                           crash: CrashController,
+                           ocr_stage: OcrStage | None, registry,
+                           executor: ParallelExecutor | None,
+                           raw_disengagements: list,
+                           raw_mileage: list) -> None:
+    checkpoint = guard.health.checkpoint
+    restored_docs = store.restored("documents") if store else {}
+    results = None
+    if executor is not None:
+        results = executor.map_documents(
+            ("disengagement", document) for document in documents
+            if document.document_id not in restored_docs)
+    for index, document in enumerate(documents):
+        crash.reached_mid("mid-parse-documents", index, len(documents))
+        entry = restored_docs.get(document.document_id)
+        if entry is not None and _restore_disengagement(
+                entry, diagnostics, database, guard,
+                raw_disengagements, raw_mileage):
+            checkpoint.restored_units += 1
+            continue
+        if results is None or entry is not None:
+            # Serial path — also the fallback for a unit whose
+            # checkpoint entry was corrupt (it was never dispatched,
+            # so it is recomputed inline, exactly like a serial run).
+            body = _process_disengagement(
+                document, config, diagnostics, database, guard,
+                ocr_stage, registry, raw_disengagements, raw_mileage,
+                journal=store is not None)
+        else:
+            body = _merge_stage2(
+                _tally(next(results), diagnostics.parallel),
+                "disengagement", diagnostics, database, guard,
+                raw_disengagements, raw_mileage)
+        if store is not None:
+            store.append("documents", document.document_id, body)
+            checkpoint.recomputed_units += 1
+
+
+def _stage2_accidents(documents, config: PipelineConfig,
+                      diagnostics: PipelineDiagnostics,
+                      database: FailureDatabase, guard: StageGuard,
+                      store: CheckpointStore | None,
+                      crash: CrashController,
+                      ocr_stage: OcrStage | None,
+                      executor: ParallelExecutor | None) -> None:
+    checkpoint = guard.health.checkpoint
+    restored_accidents = store.restored("accidents") if store else {}
+    results = None
+    if executor is not None:
+        results = executor.map_documents(
+            ("accident", document) for document in documents
+            if document.document_id not in restored_accidents)
+    for document in documents:
+        entry = restored_accidents.get(document.document_id)
+        if entry is not None and _restore_accident(
+                entry, diagnostics, database, guard):
+            checkpoint.restored_units += 1
+            continue
+        if results is None or entry is not None:
+            body = _process_accident(
+                document, config, diagnostics, database, guard,
+                ocr_stage, journal=store is not None)
+        else:
+            body = _merge_stage2(
+                _tally(next(results), diagnostics.parallel),
+                "accident", diagnostics, database, guard, None, None)
+        if store is not None:
+            store.append("accidents", document.document_id, body)
+            checkpoint.recomputed_units += 1
+
+
+def _stage3_tags(filtered, dictionary, tagger,
+                 config: PipelineConfig, guard: StageGuard,
+                 store: CheckpointStore | None,
+                 crash: CrashController, checkpoint,
+                 executor: ParallelExecutor | None,
+                 par: ParallelStats) -> None:
     restored_tags = store.restored("tags") if store else {}
+    record_ids = [_record_id(record) for record in filtered]
+    results = None
+    if executor is not None:
+        pending = [(rid, record.description)
+                   for rid, record in zip(record_ids, filtered)
+                   if rid not in restored_tags]
+        results = executor.map_tags(dictionary.to_json(), pending)
     for index, record in enumerate(filtered):
         crash.reached_mid("mid-tag", index, len(filtered))
-        record_id = _record_id(record)
+        record_id = record_ids[index]
         entry = restored_tags.get(record_id)
         if entry is not None and _restore_tag(entry, record,
                                               checkpoint):
             checkpoint.restored_units += 1
             continue
-        result = guard.run(
-            "tag", record_id,
-            lambda: tagger.tag(record.description),
-            fallback=_unknown_tag)
-        record.tag = result.tag
-        record.category = result.category
+        if results is None or entry is not None:
+            result = guard.run(
+                "tag", record_id,
+                lambda: tagger.tag(record.description),
+                fallback=_unknown_tag)
+            record.tag = result.tag
+            record.category = result.category
+        else:
+            _merge_tag(_tally(next(results), par), record, guard)
         if store is not None:
             store.append("tags", record_id, {
                 "tag": record.tag.value,
                 "category": record.category.value,
             })
             checkpoint.recomputed_units += 1
-    crash.reached("tag")
-    if store is not None:
-        store.sync()
 
-    if config.attach_truth:
-        diagnostics.tagging = evaluate_tagger(tagger, filtered)
 
-    database.disengagements = filtered
-    database.mileage = mileage
-    return PipelineResult(
-        database=database, diagnostics=diagnostics, config=config)
+# ----------------------------------------------------------------------
+# Parallel merge paths.  The coordinator adopts worker outcomes in
+# original corpus order, reproducing exactly the state transitions the
+# serial live path would have made.
+# ----------------------------------------------------------------------
+
+def _merge_stage2(outcome: UnitOutcome, kind: str,
+                  diagnostics: PipelineDiagnostics,
+                  database: FailureDatabase, guard: StageGuard,
+                  raw_disengagements: list | None,
+                  raw_mileage: list | None) -> dict:
+    _merge_worker_health(outcome, guard)
+    if outcome.error is not None:
+        raise PipelineError(outcome.error)
+    if outcome.ocr is not None:
+        _merge_ocr_stats(outcome.ocr, diagnostics)
+    body = outcome.body
+    verdict = body["outcome"]
+    if verdict == "quarantined":
+        database.quarantine.add(
+            QuarantineEntry.from_dict(body["entry"]))
+        _check_merged_thresholds(outcome, guard)
+        return body
+    if verdict == "parse_error":
+        diagnostics.parse.unparsed_lines += int(body["unparsed"])
+        return body
+    if kind == "disengagement":
+        records = [DisengagementRecord.from_dict(d)
+                   for d in body["disengagements"]]
+        cells = [MonthlyMileage.from_dict(m) for m in body["mileage"]]
+        diagnostics.parse.documents += 1
+        diagnostics.parse.disengagements_parsed += len(records)
+        diagnostics.parse.mileage_cells_parsed += len(cells)
+        diagnostics.parse.unparsed_lines += int(body["unparsed"])
+        raw_disengagements.extend(records)
+        raw_mileage.extend(cells)
+    else:
+        diagnostics.parse.accidents_parsed += 1
+        database.accidents.append(
+            AccidentRecord.from_dict(body["accident"]))
+    return body
+
+
+def _tally(outcome: UnitOutcome, par: ParallelStats) -> UnitOutcome:
+    """Account one pool-computed unit toward the parallel stats."""
+    par.parallel_units += 1
+    par.unit_compute_s += outcome.elapsed
+    return outcome
+
+
+def _merge_tag(outcome: UnitOutcome, record,
+               guard: StageGuard) -> None:
+    _merge_worker_health(outcome, guard)
+    if outcome.error is not None:
+        raise PipelineError(outcome.error)
+    record.tag = FaultTag(outcome.body["tag"])
+    record.category = FailureCategory(outcome.body["category"])
+
+
+def _merge_worker_health(outcome: UnitOutcome,
+                         guard: StageGuard) -> None:
+    """Fold a worker's per-unit health delta into the run health."""
+    par_stats = outcome.health["stages"]
+    for name, (attempts, errors, retries, degradations,
+               quarantined) in par_stats.items():
+        stats = guard.health.stage(name)
+        stats.attempts += attempts
+        stats.errors += errors
+        stats.retries += retries
+        stats.degradations += degradations
+        stats.quarantined += quarantined
+    guard.health.degradation_events.extend(outcome.health["events"])
+    if guard.chaos is not None:
+        guard.chaos.injected += outcome.injected
+
+
+def _check_merged_thresholds(outcome: UnitOutcome,
+                             guard: StageGuard) -> None:
+    """Re-enforce the threshold policy on the merged counters.
+
+    The serial path checks the threshold exactly when a unit is
+    quarantined, so the merge path checks only stages whose delta
+    carries a quarantine — with the merged (run-global) stats, the
+    run aborts at the same unit with the same message.
+    """
+    for name, counters in outcome.health["stages"].items():
+        if counters[4]:  # quarantined
+            guard.check_threshold(name)
+
+
+def _merge_ocr_stats(delta: dict, diagnostics: PipelineDiagnostics,
+                     ) -> None:
+    """Fold one worker document's OCR stats into the run's.
+
+    Replays the serial stage's running-mean update in merge (corpus)
+    order, so the merged confidence is bit-identical to a serial run.
+    """
+    stats = diagnostics.ocr
+    stats.documents += 1
+    stats.pages += delta["pages"]
+    stats.lines += delta["lines"]
+    stats.mean_confidence += (
+        delta["confidence"] - stats.mean_confidence) / stats.documents
+    stats.fallback_pages += delta["fallback_pages"]
+    stats.fallback_lines += delta["fallback_lines"]
 
 
 # ----------------------------------------------------------------------
@@ -258,7 +491,7 @@ def _process_disengagement(document: RawDocument,
         return {"outcome": "parse_error", "unparsed": unparsed}
     except QuarantinedError:
         return _quarantined_body(database)
-    unparsed = sum(1 for line in parsed.unparsed_lines if line.strip())
+    unparsed = _non_blank(parsed.unparsed_lines)
     diagnostics.parse.documents += 1
     diagnostics.parse.disengagements_parsed += len(
         parsed.disengagements)

@@ -18,6 +18,7 @@ from ..ocr.scanner import ScannerProfile
 from ..parsing.filters import FilterStats
 from ..parsing.normalize import NormalizationStats
 from ..synth.reports import RawDocument
+from .parallel import ParallelStats
 from .resilience import RunHealth
 
 
@@ -63,6 +64,9 @@ class PipelineDiagnostics:
     #: What the resilience layer observed (errors, retries,
     #: degradations, quarantine counts per stage).
     health: RunHealth = field(default_factory=RunHealth)
+    #: Per-stage wall times plus worker-pool accounting (worker
+    #: count, fanned-out units, estimated speedup vs serial).
+    parallel: ParallelStats = field(default_factory=ParallelStats)
 
 
 class OcrStage:

@@ -173,11 +173,15 @@ def render_study_report(db: FailureDatabase,
 
 
 def render_run_health(health: RunHealth,
-                      quarantine: Quarantine | None = None) -> str:
+                      quarantine: Quarantine | None = None,
+                      parallel=None) -> str:
     """Render the resilience layer's view of one run as text.
 
     Used by the CLI's ``health`` section after ``run``/``process``; a
-    clean run renders a single reassuring line.
+    clean run renders a single reassuring line.  ``parallel`` (a
+    :class:`~repro.pipeline.parallel.ParallelStats`) adds worker-pool
+    lines only when the run actually fanned out, so serial output is
+    unchanged.
     """
     out: list[str] = []
     w = out.append
@@ -189,6 +193,7 @@ def render_run_health(health: RunHealth,
         else:
             w("health:         clean (no errors, no degradations)")
         _render_checkpoint_health(health.checkpoint, w)
+        _render_parallel_stats(parallel, w)
         return "\n".join(out)
     w(f"health:         {health.total_errors} error(s), "
       f"{health.total_retries} retried, "
@@ -209,6 +214,7 @@ def render_run_health(health: RunHealth,
     for event in health.degradation_events[:5]:
         w(f"  degraded:    {event}")
     _render_checkpoint_health(health.checkpoint, w)
+    _render_parallel_stats(parallel, w)
     return "\n".join(out)
 
 
@@ -252,3 +258,19 @@ def _render_checkpoint_health(checkpoint, w) -> None:
           f"({checkpoint.stale_reason})")
     for note in checkpoint.notes[:5]:
         w(f"  durability:  {note}")
+
+
+def _render_parallel_stats(parallel, w) -> None:
+    """Append the worker-pool view (silent for serial runs)."""
+    if parallel is None or not parallel.enabled:
+        return
+    line = (f"workers:        {parallel.workers} ({parallel.mode} "
+            f"pool), {parallel.parallel_units} unit(s) fanned out")
+    speedup = parallel.speedup_estimate
+    if speedup is not None:
+        line += (f", ~{speedup:.1f}x estimated speedup over serial "
+                 f"({parallel.unit_compute_s:.2f}s compute / "
+                 f"{parallel.parallel_wall_s:.2f}s wall)")
+    w(line)
+    for stage, seconds in parallel.stage_wall_s.items():
+        w(f"  {stage:14s} {seconds:.3f}s")

@@ -1,0 +1,398 @@
+"""Tests for the deterministic multi-worker fan-out and the tagger
+hot path.
+
+The acceptance bar: a run with ``--workers N`` (any N, process or
+thread pool) saves a FailureDatabase **byte-identical** to a serial
+run — under the quarantine policy, under chaos injection, and through
+a crash -> resume cycle.  Plus unit coverage for the worker/merge
+plumbing, the inverted dictionary index, and the token memo.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.nlp.dictionary import DictionaryEntry, FailureDictionary
+from repro.nlp.tagger import FirstMatchTagger, VotingTagger
+from repro.nlp.textcache import TokenCache, cached_tokens, token_cache
+from repro.pipeline import (
+    ChaosConfig,
+    CrashPoint,
+    PipelineConfig,
+    ParallelStats,
+    SimulatedCrash,
+    process_corpus,
+)
+from repro.pipeline.parallel import (
+    PROCESS_POOL_MIN_WORKERS,
+    WORKER_MODES,
+    worker_config,
+)
+from repro.synth import generate_corpus
+from repro.taxonomy import FaultTag
+
+SEED = 5
+
+SMALL = dict(seed=SEED, manufacturers=["Nissan"], ocr_enabled=False,
+             dictionary_mode="seed")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(seed=SEED, manufacturers=["Nissan"])
+
+
+@pytest.fixture(scope="module")
+def serial_json(corpus):
+    result = process_corpus(corpus, PipelineConfig(**SMALL))
+    return result.database.to_json()
+
+
+def run_json(corpus, **overrides):
+    params = {**SMALL, **overrides}
+    return process_corpus(corpus, PipelineConfig(**params))
+
+
+# ----------------------------------------------------------------------
+# Config resolution.
+# ----------------------------------------------------------------------
+
+class TestConfig:
+    def test_default_is_serial(self):
+        assert PipelineConfig().resolved_parallelism() == (0, "serial")
+
+    def test_auto_uses_threads_below_process_floor(self):
+        workers, mode = PipelineConfig(workers=1).resolved_parallelism()
+        assert (workers, mode) == (1, "thread")
+
+    def test_auto_uses_processes_at_floor(self):
+        workers, mode = PipelineConfig(
+            workers=PROCESS_POOL_MIN_WORKERS).resolved_parallelism()
+        assert (workers, mode) == (PROCESS_POOL_MIN_WORKERS, "process")
+
+    def test_explicit_mode_wins(self):
+        assert PipelineConfig(
+            workers=8, worker_mode="thread"
+        ).resolved_parallelism() == (8, "thread")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            PipelineConfig(workers=-1)
+
+    def test_unknown_worker_mode_rejected(self):
+        with pytest.raises(ValueError, match="worker_mode"):
+            PipelineConfig(worker_mode="gpu")
+
+    def test_worker_modes_constant(self):
+        assert WORKER_MODES == ("auto", "thread", "process")
+
+    def test_worker_config_strips_coordinator_concerns(self, tmp_path):
+        config = PipelineConfig(
+            **SMALL, workers=4, checkpoint_dir=tmp_path,
+            crash=CrashPoint(at="tag"))
+        stripped = worker_config(config)
+        assert stripped.workers == 0
+        assert stripped.crash is None
+        assert stripped.checkpoint_dir is None
+        assert not stripped.resume
+        # the knobs that shape output survive
+        assert stripped.seed == config.seed
+        assert stripped.failure_policy == config.failure_policy
+
+
+# ----------------------------------------------------------------------
+# Determinism hammer: parallel output is byte-identical to serial.
+# ----------------------------------------------------------------------
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_clean_run_byte_identical(self, corpus, serial_json,
+                                      workers):
+        result = run_json(corpus, workers=workers)
+        assert result.database.to_json() == serial_json
+
+    def test_thread_mode_byte_identical(self, corpus, serial_json):
+        result = run_json(corpus, workers=4, worker_mode="thread")
+        assert result.database.to_json() == serial_json
+
+    def test_ocr_enabled_byte_identical(self):
+        corpus = generate_corpus(seed=9, manufacturers=["Waymo"])
+        config = dict(seed=9)
+        serial = process_corpus(corpus, PipelineConfig(**config))
+        parallel = process_corpus(
+            corpus, PipelineConfig(**config, workers=4))
+        assert (parallel.database.to_json()
+                == serial.database.to_json())
+        # Sidecar OCR stats replay bit-identically too.
+        assert vars(parallel.diagnostics.ocr) == vars(
+            serial.diagnostics.ocr)
+
+    def test_quarantine_chaos_byte_identical(self, corpus):
+        chaos = ChaosConfig(stage="parse", rate=0.3, kind="exception")
+        serial = run_json(corpus, chaos=chaos,
+                          failure_policy="quarantine")
+        parallel = run_json(corpus, chaos=chaos,
+                            failure_policy="quarantine", workers=4)
+        assert (parallel.database.to_json()
+                == serial.database.to_json())
+        assert len(serial.database.quarantine) > 0
+        # Quarantine entries match field for field (incl. traceback).
+        for ours, theirs in zip(parallel.database.quarantine,
+                                serial.database.quarantine):
+            assert ours == theirs
+
+    def test_transient_chaos_health_parity(self, corpus):
+        chaos = ChaosConfig(stage="tag", rate=0.4, kind="transient")
+        serial = run_json(corpus, chaos=chaos)
+        parallel = run_json(corpus, chaos=chaos, workers=4)
+        assert (parallel.database.to_json()
+                == serial.database.to_json())
+        assert (parallel.diagnostics.health.summary()
+                == serial.diagnostics.health.summary())
+        assert serial.diagnostics.health.total_retries > 0
+
+    def test_tagging_report_parity(self, corpus):
+        serial = run_json(corpus)
+        parallel = run_json(corpus, workers=2)
+        assert parallel.diagnostics.tagging == serial.diagnostics.tagging
+
+
+# ----------------------------------------------------------------------
+# Failure-policy semantics across the pool boundary.
+# ----------------------------------------------------------------------
+
+class TestPolicyParity:
+    def test_fail_fast_same_exception(self, corpus):
+        chaos = ChaosConfig(stage="parse", rate=0.3, kind="exception")
+        messages = []
+        for workers in (0, 4):
+            with pytest.raises(PipelineError) as excinfo:
+                run_json(corpus, chaos=chaos,
+                         failure_policy="fail_fast", workers=workers)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_threshold_same_abort(self, corpus):
+        chaos = ChaosConfig(stage="parse", rate=0.9, kind="exception")
+        outcomes = []
+        for workers in (0, 4):
+            try:
+                run_json(corpus, chaos=chaos,
+                         failure_policy="threshold",
+                         max_error_rate=0.05, workers=workers)
+                outcomes.append("completed")
+            except PipelineError as exc:
+                outcomes.append(str(exc))
+        assert outcomes[0] == outcomes[1]
+
+
+# ----------------------------------------------------------------------
+# Checkpointing and crash -> resume under workers.
+# ----------------------------------------------------------------------
+
+class TestCrashResume:
+    def test_checkpointed_parallel_run(self, corpus, serial_json,
+                                       tmp_path):
+        result = run_json(corpus, workers=4, checkpoint_dir=tmp_path)
+        assert result.database.to_json() == serial_json
+
+    @pytest.mark.parametrize("point", ["mid-parse-documents",
+                                       "mid-tag"])
+    @pytest.mark.parametrize("resume_workers", [0, 4])
+    def test_crash_under_workers_resumes_identically(
+            self, corpus, serial_json, tmp_path, point,
+            resume_workers):
+        ckpt = tmp_path / point / str(resume_workers)
+        with pytest.raises(SimulatedCrash):
+            run_json(corpus, workers=4, checkpoint_dir=ckpt,
+                     crash=CrashPoint(at=point))
+        resumed = run_json(corpus, checkpoint_dir=ckpt, resume=True,
+                           workers=resume_workers)
+        assert resumed.database.to_json() == serial_json
+        assert resumed.diagnostics.health.checkpoint.restored_units > 0
+
+
+# ----------------------------------------------------------------------
+# Diagnostics.
+# ----------------------------------------------------------------------
+
+class TestParallelStats:
+    def test_serial_run_reports_serial(self, corpus):
+        result = run_json(corpus)
+        par = result.diagnostics.parallel
+        assert not par.enabled
+        assert par.workers == 0 and par.mode == "serial"
+        assert par.parallel_units == 0
+        assert par.speedup_estimate is None
+        # Stage wall times are recorded for serial runs too.
+        assert "parse-documents" in par.stage_wall_s
+        assert "tag" in par.stage_wall_s
+
+    def test_parallel_run_populates_stats(self, corpus):
+        result = run_json(corpus, workers=2)
+        par = result.diagnostics.parallel
+        assert par.enabled
+        assert par.workers == 2 and par.mode == "process"
+        docs = len(result.diagnostics.health.stages)  # sanity anchor
+        assert docs > 0
+        assert par.parallel_units == (
+            result.diagnostics.parse.documents
+            + len(result.database.quarantine)
+            + len(result.database.accidents)
+            + len(result.database.disengagements))
+        assert par.unit_compute_s > 0.0
+        assert par.parallel_wall_s > 0.0
+        assert par.speedup_estimate is not None
+        summary = par.summary()
+        assert summary["workers"] == 2
+        assert summary["mode"] == "process"
+        json.dumps(summary)  # JSON-friendly
+
+
+# ----------------------------------------------------------------------
+# Dictionary inverted index.
+# ----------------------------------------------------------------------
+
+class TestDictionaryIndex:
+    def test_match_equals_linear_reference(self, corpus):
+        result = process_corpus(
+            corpus, PipelineConfig(seed=SEED, ocr_enabled=False))
+        texts = [r.description
+                 for r in result.database.disengagements]
+        dictionary = FailureDictionary.build(texts)
+        for text in texts[:300]:
+            tokens = cached_tokens(text)
+            assert (dictionary.match(tokens)
+                    == dictionary.match_linear(tokens))
+
+    def test_match_per_occurrence(self):
+        dictionary = FailureDictionary()
+        entry = DictionaryEntry(phrase=("lidar",),
+                                tag=FaultTag.SENSOR,
+                                weight=1.0, source="seed")
+        dictionary.add(entry)
+        assert dictionary.match(["lidar", "x", "lidar"]) == [entry,
+                                                             entry]
+
+    def test_add_is_idempotent(self):
+        dictionary = FailureDictionary()
+        entry = DictionaryEntry(phrase=("can", "bus"),
+                                tag=FaultTag.NETWORK,
+                                weight=1.0, source="seed")
+        dictionary.add(entry)
+        dictionary.add(DictionaryEntry(phrase=("can", "bus"),
+                                       tag=FaultTag.NETWORK,
+                                       weight=9.0, source="learned"))
+        assert len(dictionary) == 1
+        assert dictionary.entries[0].weight == 1.0
+
+    def test_multiword_prefix_no_false_match(self):
+        dictionary = FailureDictionary()
+        dictionary.add(DictionaryEntry(phrase=("can", "bus"),
+                                       tag=FaultTag.NETWORK,
+                                       weight=1.0, source="seed"))
+        assert dictionary.match(["can"]) == []
+        assert dictionary.match(["can", "opener"]) == []
+        assert len(dictionary.match(["can", "bus"])) == 1
+
+    def test_match_at_start_positions_only(self):
+        dictionary = FailureDictionary()
+        entry = DictionaryEntry(phrase=("sun", "glare"),
+                                tag=FaultTag.ENVIRONMENT,
+                                weight=1.0, source="seed")
+        dictionary.add(entry)
+        tokens = ["bright", "sun", "glare"]
+        assert dictionary.match_at(tokens, 1) == [entry]
+        assert dictionary.match_at(tokens, 0) == []
+
+    def test_from_json_roundtrip_preserves_order(self):
+        dictionary = FailureDictionary.from_seeds()
+        clone = FailureDictionary.from_json(dictionary.to_json())
+        assert clone.entries == dictionary.entries
+        tokens = cached_tokens("lidar returns degraded by sun glare")
+        assert clone.match(tokens) == dictionary.match(tokens)
+
+    def test_first_match_tagger_uses_earliest(self):
+        dictionary = FailureDictionary()
+        dictionary.add(DictionaryEntry(phrase=("lidar",),
+                                       tag=FaultTag.SENSOR,
+                                       weight=1.0, source="seed"))
+        dictionary.add(DictionaryEntry(phrase=("planner",),
+                                       tag=FaultTag.PLANNER,
+                                       weight=5.0, source="seed"))
+        tagger = FirstMatchTagger(dictionary)
+        assert tagger.tag("planner ignored lidar").tag \
+            == FaultTag.PLANNER
+        assert tagger.tag("lidar confused planner").tag \
+            == FaultTag.SENSOR
+        assert tagger.tag("nothing matches here").tag \
+            == FaultTag.UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# Token memo.
+# ----------------------------------------------------------------------
+
+class TestTokenCache:
+    def test_hit_returns_same_list(self):
+        cache = TokenCache(capacity=4)
+        first = cache.tokens("the lidar sensor failed")
+        second = cache.tokens("the lidar sensor failed")
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_is_bounded(self):
+        cache = TokenCache(capacity=3)
+        for i in range(10):
+            cache.tokens(f"narrative number {i}")
+        assert len(cache) == 3
+
+    def test_lru_eviction_order(self):
+        cache = TokenCache(capacity=2)
+        a = cache.tokens("alpha narrative")
+        cache.tokens("beta narrative")
+        # Touch "alpha" so "beta" is the LRU victim.
+        assert cache.tokens("alpha narrative") is a
+        cache.tokens("gamma narrative")
+        assert cache.tokens("alpha narrative") is a  # still resident
+        assert cache.hits == 2
+
+    def test_matches_uncached_normalization(self):
+        from repro.nlp.normalize import normalize_tokens
+        from repro.nlp.tokenize import tokenize
+
+        text = "The LIDAR unit failed to detect the pedestrians."
+        assert cached_tokens(text) == normalize_tokens(tokenize(text))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TokenCache(capacity=0)
+
+    def test_shared_cache_counts(self):
+        shared = token_cache()
+        before = shared.hits
+        cached_tokens("a perfectly unique narrative about sun glare")
+        cached_tokens("a perfectly unique narrative about sun glare")
+        assert shared.hits >= before + 1
+
+    def test_voting_tagger_uses_memo(self):
+        dictionary = FailureDictionary.from_seeds()
+        tagger = VotingTagger(dictionary)
+        shared = token_cache()
+        text = "sun glare blinded the forward camera on the ramp"
+        tagger.tag(text)
+        hits = shared.hits
+        tagger.tag(text)
+        assert shared.hits == hits + 1
+
+
+class TestStatsDataclass:
+    def test_speedup_estimate_guards_division(self):
+        stats = ParallelStats(workers=2, mode="process",
+                              unit_compute_s=1.0, parallel_wall_s=0.0)
+        assert stats.speedup_estimate is None
+        stats.parallel_wall_s = 0.5
+        assert stats.speedup_estimate == pytest.approx(2.0)
