@@ -64,6 +64,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
     "DEFAULT_SEED",
     "FailureCategory",
     "FaultTag",
@@ -116,3 +117,19 @@ from .query import (  # noqa: E402
     QueryResult,
     QueryServer,
 )
+
+
+def __getattr__(name: str):
+    """Lazily expose the :mod:`repro.api` facade as ``repro.api``.
+
+    The facade pulls in the observability layer; loading it on first
+    attribute access keeps ``import repro`` itself lean and cycle-free
+    while ``repro.api`` stays reachable without an explicit submodule
+    import.
+    """
+    if name == "api":
+        import importlib
+
+        return importlib.import_module(".api", __name__)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -12,10 +12,18 @@ Commands::
     validate   score the NLP tagger against ground truth
     query      run one typed query against a database
     serve      expose a database over the embedded HTTP JSON API
+    trace      render a saved span trace as a self-time table
+
+Flag conventions (shared across subcommands): ``--db``/``--seed``
+select the database source everywhere a command reads one;
+``--quiet`` suppresses informational output; ``--json`` switches to
+machine-readable JSON where the command produces output.  Deprecated
+spellings (``repro query --pretty``) keep working as hidden aliases
+that print a one-line warning.
 
 Exit codes (documented in docs/USAGE.md): 0 success, 1 lint findings
 at error severity, 2 invalid input (argparse errors, bad knob values,
-malformed queries).
+malformed queries, corrupt or missing databases).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import sys
 from pathlib import Path
 
 from . import __version__
+from .errors import CorruptDatabaseError
 from .pipeline import (
     ChaosConfig,
     CrashController,
@@ -39,6 +48,53 @@ from .pipeline.chaos import CHAOS_KINDS, CRASH_POINTS
 from .pipeline.parallel import WORKER_MODES
 from .pipeline.resilience import POLICY_MODES
 from .rng import DEFAULT_SEED
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A hidden compatibility spelling for a renamed flag.
+
+    Behaves like ``store_true`` on the *new* destination, stays out of
+    ``--help`` (``help=argparse.SUPPRESS``), and prints a one-line
+    deprecation warning to stderr when actually used.
+    """
+
+    def __init__(self, option_strings, dest, replacement="",
+                 **kwargs) -> None:
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        kwargs.setdefault("nargs", 0)
+        super().__init__(option_strings, dest, **kwargs)
+        self.replacement = replacement
+
+    def __call__(self, parser, namespace, values,
+                 option_string=None) -> None:
+        print(f"warning: {option_string} is deprecated; "
+              f"use {self.replacement}", file=sys.stderr)
+        setattr(namespace, self.dest, True)
+
+
+def _db_options() -> argparse.ArgumentParser:
+    """Shared ``--db``/``--seed`` parent for database-reading verbs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("database source")
+    group.add_argument("--db",
+                       help="database JSON from 'repro run' (default: "
+                            "run the pipeline first)")
+    group.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                       help="pipeline seed when no --db is given "
+                            "(default: %(default)s)")
+    return parent
+
+
+def _output_options(json_help: str = "emit machine-readable JSON "
+                                     "instead of text",
+                    ) -> argparse.ArgumentParser:
+    """Shared ``--quiet``/``--json`` parent for verbs with output."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("output")
+    group.add_argument("--quiet", action="store_true",
+                       help="suppress informational output")
+    group.add_argument("--json", action="store_true", help=json_help)
+    return parent
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -98,6 +154,16 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         default="auto",
                         help="worker pool kind (default: %(default)s; "
                              "auto picks processes at >= 2 workers)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a run -> stage -> unit span trace "
+                             "(trace.jsonl; see 'repro trace')")
+    parser.add_argument("--trace-dir", default=None,
+                        help="write trace.jsonl into this directory "
+                             "(implies --trace; default: working "
+                             "directory)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect run metrics (stage durations, "
+                             "unit/retry/quarantine/cache counters)")
 
 
 def _config_from(args: argparse.Namespace) -> PipelineConfig:
@@ -129,6 +195,9 @@ def _config_from(args: argparse.Namespace) -> PipelineConfig:
         crash=crash,
         workers=args.workers,
         worker_mode=args.worker_mode,
+        trace_enabled=args.trace,
+        trace_dir=args.trace_dir,
+        metrics_enabled=args.metrics,
     )
 
 
@@ -149,21 +218,66 @@ def _print_run_summary(result) -> None:
     print(render_run_health(diagnostics.health,
                             result.database.quarantine,
                             parallel=diagnostics.parallel))
+    if diagnostics.trace_path is not None:
+        print(f"trace:          {diagnostics.trace_path} "
+              "(render with 'repro trace')")
+    if diagnostics.metrics is not None:
+        from .reporting.summary import render_metrics_summary
+
+        print(render_metrics_summary(diagnostics.metrics))
 
 
-def _save_database(result, out: str) -> None:
+def _run_payload(result, out: str | None) -> dict:
+    """The ``--json`` form of a run/process summary."""
+    db = result.database
+    diagnostics = result.diagnostics
+    payload: dict = {
+        "disengagements": len(db.disengagements),
+        "accidents": len(db.accidents),
+        "miles": db.total_miles,
+        "ocr": {
+            "mean_confidence": diagnostics.ocr.mean_confidence,
+            "fallback_pages": diagnostics.ocr.fallback_pages,
+        },
+        "tag_accuracy": (diagnostics.tagging.tag_accuracy
+                         if diagnostics.tagging is not None else None),
+        "health": diagnostics.health.summary(),
+        "parallel": diagnostics.parallel.summary(),
+    }
+    if diagnostics.trace_path is not None:
+        payload["trace_path"] = diagnostics.trace_path
+    if diagnostics.metrics is not None:
+        payload["metrics"] = diagnostics.metrics
+    if out:
+        payload["saved_to"] = out
+    return payload
+
+
+def _save_database(result, out: str, quiet: bool = False) -> None:
     """Atomic save, honoring a configured ``save`` kill point."""
     result.database.save(
         out, crash=CrashController(result.config.crash))
-    print(f"database written to {out}")
+    if not quiet:
+        print(f"database written to {out}")
+
+
+def _finish_run(result, args: argparse.Namespace) -> int:
+    """Shared run/process epilogue: report, then save."""
+    if args.json:
+        if args.out:
+            _save_database(result, args.out, quiet=True)
+        print(json.dumps(_run_payload(result, args.out), indent=2))
+        return 0
+    if not args.quiet:
+        _print_run_summary(result)
+    if args.out:
+        _save_database(result, args.out, quiet=args.quiet)
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_pipeline(_config_from(args))
-    _print_run_summary(result)
-    if args.out:
-        _save_database(result, args.out)
-    return 0
+    return _finish_run(result, args)
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -172,7 +286,12 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
     corpus = generate_corpus(args.seed, args.manufacturers)
     root = write_corpus(corpus, args.out)
-    print(f"{len(corpus.documents)} documents written under {root}")
+    if args.json:
+        print(json.dumps({"documents": len(corpus.documents),
+                          "root": str(root)}, indent=2))
+    elif not args.quiet:
+        print(f"{len(corpus.documents)} documents written under "
+              f"{root}")
     return 0
 
 
@@ -181,17 +300,21 @@ def _cmd_process(args: argparse.Namespace) -> int:
 
     corpus = read_corpus(args.corpus, with_truth=not args.no_truth)
     result = process_corpus(corpus, _config_from(args))
-    _print_run_summary(result)
-    if args.out:
-        _save_database(result, args.out)
-    return 0
+    return _finish_run(result, args)
 
 
 def _load_db(args: argparse.Namespace) -> FailureDatabase:
     if args.db:
-        return FailureDatabase.load(args.db)
-    print("no --db given; running the pipeline first...",
-          file=sys.stderr)
+        # api.load_database translates a missing file into the same
+        # CorruptDatabaseError the integrity checks raise, so every
+        # verb exits 2 with a structured message instead of a
+        # traceback.
+        from .api import load_database
+
+        return load_database(args.db)
+    if not getattr(args, "quiet", False):
+        print("no --db given; running the pipeline first...",
+              file=sys.stderr)
     return run_pipeline(PipelineConfig(seed=args.seed)).database
 
 
@@ -206,14 +329,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"unknown experiments: {', '.join(unknown)}; "
               f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for experiment_id in wanted:
-        text = run_experiment(experiment_id, db).render()
+    rendered = {experiment_id: run_experiment(experiment_id,
+                                              db).render()
+                for experiment_id in wanted}
+    if args.json and not args.out:
+        print(json.dumps({"experiments": rendered}, indent=2))
+        return 0
+    for experiment_id, text in rendered.items():
         if args.out:
             directory = Path(args.out)
             directory.mkdir(parents=True, exist_ok=True)
             (directory / f"{experiment_id}.txt").write_text(
                 text + "\n", encoding="utf-8")
-            print(f"wrote {directory / f'{experiment_id}.txt'}")
+            if not args.quiet:
+                print(f"wrote {directory / f'{experiment_id}.txt'}")
         else:
             print(text)
             print()
@@ -224,7 +353,9 @@ def _cmd_tag(args: argparse.Namespace) -> int:
     from .nlp import FailureDictionary, VotingTagger
 
     if args.db:
-        db = FailureDatabase.load(args.db)
+        from .api import load_database
+
+        db = load_database(args.db)
         dictionary = FailureDictionary.build(
             [r.description for r in db.disengagements])
     else:
@@ -235,6 +366,14 @@ def _cmd_tag(args: argparse.Namespace) -> int:
         if not line.strip():
             continue
         result = tagger.tag(line)
+        if args.json:
+            print(json.dumps({
+                "text": line,
+                "tag": result.tag.value,
+                "category": result.category.value,
+                "confident": result.confident,
+            }))
+            continue
         confidence = "" if result.confident else " (low confidence)"
         print(f"{result.tag.display_name} | {result.category} | "
               f"{line}{confidence}")
@@ -247,6 +386,14 @@ def _cmd_stpa(args: argparse.Namespace) -> int:
     db = _load_db(args)
     overlay = overlay_failures(db.disengagements)
     localized = overlay.total - overlay.unlocalized
+    if args.json:
+        print(json.dumps({
+            "total": overlay.total,
+            "unlocalized": overlay.unlocalized,
+            "by_component": dict(overlay.by_component),
+            "loops": overlay.loop_counts(),
+        }, indent=2))
+        return 0
     print(f"{overlay.total} failures overlaid "
           f"({overlay.unlocalized} unlocalized)")
     for component, count in overlay.by_component.most_common():
@@ -264,6 +411,19 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     injector = FaultInjector()
     campaign = injector.run_campaign(
         injections_per_component=args.injections, seed=args.seed)
+    if args.json:
+        print(json.dumps({
+            "injections": len(campaign.outcomes),
+            "per_component": campaign.injections_per_component,
+            "origins": {
+                origin: {
+                    "hazard_rate": rate,
+                    "detection_rate": campaign.detection_rate(origin),
+                }
+                for origin, rate in campaign.hazard_ranking()
+            },
+        }, indent=2))
+        return 0
     print(f"{len(campaign.outcomes)} injections "
           f"({campaign.injections_per_component} per component)")
     print("hazard rate by fault origin:")
@@ -279,9 +439,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     db = _load_db(args)
     findings = lint_database(db)
-    for finding in findings:
-        print(finding)
     error_count = len(errors(findings))
+    if args.json:
+        print(json.dumps({
+            "findings": [str(f) for f in findings],
+            "errors": error_count,
+        }, indent=2))
+        return 1 if error_count else 0
+    if not args.quiet:
+        for finding in findings:
+            print(finding)
     print(f"{len(findings)} finding(s), {error_count} error(s)")
     return 1 if error_count else 0
 
@@ -293,7 +460,8 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     report = render_study_report(db, include_charts=not args.no_charts)
     if args.out:
         Path(args.out).write_text(report + "\n", encoding="utf-8")
-        print(f"report written to {args.out}")
+        if not args.quiet:
+            print(f"report written to {args.out}")
     else:
         print(report)
     return 0
@@ -311,6 +479,20 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     tagger = VotingTagger(FailureDictionary.build(
         [r.description for r in records]))
     report = evaluate_tagger(tagger, records)
+    per_manufacturer = per_manufacturer_accuracy(tagger, records)
+    if args.json:
+        print(json.dumps({
+            "tag_accuracy": report.tag_accuracy,
+            "category_accuracy": report.category_accuracy,
+            "confusions": [
+                {"truth": truth.value, "predicted": predicted.value,
+                 "count": count}
+                for (truth, predicted), count
+                in report.top_confusions(5)
+            ],
+            "per_manufacturer": per_manufacturer,
+        }, indent=2))
+        return 0
     print(f"tag accuracy:      {report.tag_accuracy:.2%}")
     print(f"category accuracy: {report.category_accuracy:.2%}")
     print("top confusions:")
@@ -318,8 +500,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print(f"  {truth.display_name} -> {predicted.display_name} "
               f"x{count}")
     print("per manufacturer:")
-    for name, accuracy in per_manufacturer_accuracy(
-            tagger, records).items():
+    for name, accuracy in per_manufacturer.items():
         print(f"  {name:15s} {accuracy:.2%}")
     return 0
 
@@ -344,7 +525,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     engine = QueryEngine(_load_db(args))
     result = engine.execute(_query_from_args(args))
-    indent = 2 if args.pretty else None
+    # Query output is always JSON; --json upgrades it to the indented
+    # human-friendly form (the role --pretty used to play).
+    indent = 2 if args.json else None
     print(json.dumps(result.to_dict(), indent=indent))
     return 0
 
@@ -357,17 +540,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = QueryServer(engine_db, host=args.host, port=args.port,
                          cache_size=args.cache_size,
                          verbose=not args.quiet)
-    print(f"serving {len(engine_db.disengagements)} disengagements / "
-          f"{len(engine_db.accidents)} accidents on {server.url} "
-          "(Ctrl-C to stop)")
+    if not args.quiet:
+        print(f"serving {len(engine_db.disengagements)} "
+              f"disengagements / {len(engine_db.accidents)} accidents "
+              f"on {server.url} (Ctrl-C to stop; metrics on /metrics)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.shutdown()
-        print()
-        print(render_query_stats(server.engine.stats()))
+        stats = server.engine.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        elif not args.quiet:
+            print()
+            print(render_query_stats(stats))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .api import load_trace, self_times
+    from .reporting.summary import render_trace_summary
+
+    path = Path(args.path)
+    if not path.exists():
+        raise ValueError(
+            f"trace file {str(path)!r} does not exist "
+            "(record one with 'repro run --trace')")
+    spans = load_trace(path)
+    if not spans:
+        raise ValueError(
+            f"trace file {str(path)!r} contains no spans")
+    rows = self_times(spans)
+    if args.json:
+        print(json.dumps({"spans": len(spans), "rows": rows},
+                         indent=2))
+        return 0
+    if not args.quiet:
+        print(f"{len(spans)} span(s) in {path}")
+    print(render_trace_summary(rows))
     return 0
 
 
@@ -381,21 +593,30 @@ def build_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Shared flag groups: db selects the database source for every
+    # verb that reads one; out is the --quiet/--json pair every verb
+    # with output accepts.  Defining them once keeps spellings, help
+    # strings, and defaults from drifting between subcommands.
+    db = _db_options()
+    out = _output_options()
+
     run = commands.add_parser(
-        "run", help="synthesize + process end to end")
+        "run", help="synthesize + process end to end", parents=[out])
     _add_pipeline_options(run)
     run.add_argument("--out", help="write the database JSON here")
     run.set_defaults(handler=_cmd_run)
 
     corpus = commands.add_parser(
-        "corpus", help="write the raw synthetic corpus to a directory")
+        "corpus", help="write the raw synthetic corpus to a directory",
+        parents=[out])
     corpus.add_argument("--seed", type=int, default=DEFAULT_SEED)
     corpus.add_argument("--manufacturers", nargs="*", default=None)
     corpus.add_argument("--out", required=True)
     corpus.set_defaults(handler=_cmd_corpus)
 
     process = commands.add_parser(
-        "process", help="run Stages II-IV over a corpus directory")
+        "process", help="run Stages II-IV over a corpus directory",
+        parents=[out])
     _add_pipeline_options(process)
     process.add_argument("--corpus", required=True,
                          help="directory written by 'repro corpus'")
@@ -405,17 +626,17 @@ def build_parser() -> argparse.ArgumentParser:
     process.set_defaults(handler=_cmd_process)
 
     report = commands.add_parser(
-        "report", help="render paper tables/figures")
+        "report", help="render paper tables/figures",
+        parents=[db, out])
     report.add_argument("experiments", nargs="+",
                         help="experiment ids (e.g. table7 figure8) "
                              "or 'all'")
-    report.add_argument("--db", help="database JSON from 'repro run'")
-    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
     report.add_argument("--out", help="write exhibits to a directory")
     report.set_defaults(handler=_cmd_report)
 
     tag = commands.add_parser(
-        "tag", help="tag log lines with the failure dictionary")
+        "tag", help="tag log lines with the failure dictionary",
+        parents=[out])
     tag.add_argument("text", nargs="*",
                      help="log lines (default: read stdin)")
     tag.add_argument("--db", help="build the dictionary from this "
@@ -423,43 +644,42 @@ def build_parser() -> argparse.ArgumentParser:
     tag.set_defaults(handler=_cmd_tag)
 
     stpa = commands.add_parser(
-        "stpa", help="overlay failures on the control structure")
-    stpa.add_argument("--db", help="database JSON")
-    stpa.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        "stpa", help="overlay failures on the control structure",
+        parents=[db, out])
     stpa.set_defaults(handler=_cmd_stpa)
 
     inject = commands.add_parser(
-        "inject", help="stochastic fault-injection campaign")
+        "inject", help="stochastic fault-injection campaign",
+        parents=[out])
     inject.add_argument("--injections", type=int, default=1000,
                         help="injections per component")
     inject.add_argument("--seed", type=int, default=DEFAULT_SEED)
     inject.set_defaults(handler=_cmd_inject)
 
     lint = commands.add_parser(
-        "lint", help="check a database for consistency problems")
-    lint.add_argument("--db", help="database JSON")
-    lint.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        "lint", help="check a database for consistency problems",
+        parents=[db, out])
     lint.set_defaults(handler=_cmd_lint)
 
     summary = commands.add_parser(
-        "summary", help="render the full study report (Markdown)")
-    summary.add_argument("--db", help="database JSON")
-    summary.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        "summary", help="render the full study report (Markdown)",
+        parents=[db, out])
     summary.add_argument("--out", help="write the report here")
     summary.add_argument("--no-charts", action="store_true",
                          help="omit the ASCII charts")
     summary.set_defaults(handler=_cmd_summary)
 
     validate = commands.add_parser(
-        "validate", help="score the NLP tagger against ground truth")
-    validate.add_argument("--db", help="database JSON")
-    validate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        "validate", help="score the NLP tagger against ground truth",
+        parents=[db, out])
     validate.set_defaults(handler=_cmd_validate)
 
     from .query.engine import GROUP_BYS, METRICS
 
     query = commands.add_parser(
-        "query", help="run one typed query against a database")
+        "query", help="run one typed query against a database",
+        parents=[db, _output_options(
+            json_help="indent the JSON output")])
     query.add_argument("metric", choices=METRICS,
                        help="what to compute")
     query.add_argument("--group-by", choices=GROUP_BYS, default=None,
@@ -477,16 +697,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--category", default=None,
                        help="restrict disengagements to one failure "
                             "category")
-    query.add_argument("--db", help="database JSON from 'repro run'")
-    query.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    query.add_argument("--pretty", action="store_true",
-                       help="indent the JSON output")
+    query.add_argument("--pretty", action=_DeprecatedAlias,
+                       dest="json", replacement="--json")
     query.set_defaults(handler=_cmd_query)
 
     serve = commands.add_parser(
-        "serve", help="expose a database over the HTTP JSON API")
-    serve.add_argument("--db", help="database JSON from 'repro run'")
-    serve.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        "serve", help="expose a database over the HTTP JSON API",
+        parents=[db, _output_options(
+            json_help="print engine statistics as JSON on shutdown")])
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8350,
                        help="TCP port (0 picks a free one; "
@@ -494,9 +712,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=256,
                        help="bounded LRU result-cache capacity "
                             "(default: %(default)s)")
-    serve.add_argument("--quiet", action="store_true",
-                       help="suppress per-request access logging")
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = commands.add_parser(
+        "trace", help="render a saved span trace (trace.jsonl) as a "
+                      "self-time table",
+        parents=[out])
+    trace.add_argument("path", nargs="?", default="trace.jsonl",
+                       help="trace file from a --trace run "
+                            "(default: %(default)s)")
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 
@@ -514,7 +739,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ValueError as exc:
+    except (ValueError, CorruptDatabaseError) as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 2
 

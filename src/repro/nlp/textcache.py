@@ -62,6 +62,16 @@ class TokenCache:
                 self._items.popitem(last=False)
         return computed
 
+    def stats(self) -> dict[str, int]:
+        """A consistent ``{hits, misses, size, capacity}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._items),
+                "capacity": self.capacity,
+            }
+
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         with self._lock:

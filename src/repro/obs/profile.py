@@ -1,0 +1,67 @@
+"""Profiling hooks: timed blocks and an optional cProfile capture.
+
+Two levels of depth, both stdlib-only:
+
+* :func:`timed` — a context manager that feeds one measured block
+  into a registry histogram (and, when a tracer is live, a span).
+  This is the everyday hook for ad-hoc "where does this function's
+  time go" questions without touching the pipeline plumbing.
+* :func:`profile_to` — wraps a block in :mod:`cProfile` and writes a
+  ``pstats`` dump for ``snakeviz``/``pstats`` consumption.  Heavy;
+  strictly opt-in, never wired into a default path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+#: Histogram that :func:`timed` blocks report into.
+BLOCK_SECONDS = "repro_block_seconds"
+
+
+@contextmanager
+def timed(name: str, registry: MetricsRegistry | None = None,
+          tracer: Tracer | NullTracer = NULL_TRACER,
+          **attrs: Any) -> Iterator[None]:
+    """Measure one block into ``registry``/``tracer`` (both optional).
+
+    With neither supplied this degrades to a bare ``perf_counter``
+    pair — cheap enough to leave in place permanently.
+    """
+    started = time.perf_counter()
+    try:
+        with tracer.span(name, kind="span", **attrs):
+            yield
+    finally:
+        if registry is not None:
+            registry.histogram(
+                BLOCK_SECONDS, "Ad-hoc timed profiling blocks",
+                ("block",)).labels(name).observe(
+                time.perf_counter() - started)
+
+
+@contextmanager
+def profile_to(path: str | Path,
+               *, builtins: bool = False) -> Iterator[cProfile.Profile]:
+    """Run the block under :mod:`cProfile`; dump stats to ``path``.
+
+    The profiler object is yielded so a caller can also inspect it in
+    memory.  Not for hot paths — deterministic profiling costs an
+    order of magnitude; this exists for offline "why is stage X slow"
+    sessions (see docs/USAGE.md §15).
+    """
+    profiler = cProfile.Profile(builtins=builtins)
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(path))

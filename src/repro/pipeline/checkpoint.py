@@ -406,11 +406,14 @@ def config_fingerprint(config: Any) -> str:
     Two runs share checkpoints only if their fingerprints match.
     Checkpointing knobs themselves, the kill-point
     (:class:`~repro.pipeline.chaos.CrashPoint`), and the
-    ``workers``/``worker_mode`` parallelism knobs are deliberately
-    excluded: a crash aborts a run but never changes any unit's
-    output, and a worker pool is an execution strategy with
-    byte-identical output — so a resume may drop ``--crash-at`` or
-    switch worker counts and still adopt the pre-crash checkpoints.
+    ``workers``/``worker_mode`` parallelism knobs, and the
+    observability knobs (``trace_enabled``/``trace_dir``/
+    ``metrics_enabled``) are deliberately excluded: a crash aborts a
+    run but never changes any unit's output, a worker pool is an
+    execution strategy with byte-identical output, and tracing/metrics
+    only observe — so a resume may drop ``--crash-at``, switch worker
+    counts, or toggle tracing and still adopt the pre-crash
+    checkpoints.
     """
     chaos = None
     if config.chaos is not None:

@@ -73,6 +73,18 @@ class PipelineConfig:
     #: workers up and the threaded fallback below it; ``thread`` /
     #: ``process`` force one kind.
     worker_mode: str = "auto"
+    #: Record hierarchical spans (run → stage → unit) for this run.
+    #: Off by default; tracing never alters pipeline output bytes.
+    trace_enabled: bool = False
+    #: Where the JSONL trace is published (``trace.jsonl`` inside).
+    #: Setting a directory implies tracing, mirroring
+    #: ``checkpoint_dir``; ``trace_enabled`` alone writes under the
+    #: working directory.
+    trace_dir: str | Path | None = None
+    #: Collect run metrics (stage durations, unit/retry/quarantine
+    #: counters, cache hit rates) into the process-global
+    #: :func:`repro.obs.default_registry`.  Off by default.
+    metrics_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.dictionary_mode not in ("seed", "expanded"):
@@ -108,6 +120,24 @@ class PipelineConfig:
     def checkpointing_active(self) -> bool:
         """Whether this run journals (and may restore) checkpoints."""
         return self.checkpoint_dir is not None and self.checkpoint_enabled
+
+    @property
+    def tracing_active(self) -> bool:
+        """Whether this run records spans (flag or directory set).
+
+        Like ``workers``, the observability knobs are excluded from
+        the checkpoint config fingerprint: they observe the run, they
+        never shape a unit's output, so a traced run may resume an
+        untraced checkpoint (and vice versa).
+        """
+        return self.trace_enabled or self.trace_dir is not None
+
+    @property
+    def trace_path(self) -> Path | None:
+        """The JSONL trace file this run writes (None when inactive)."""
+        if not self.tracing_active:
+            return None
+        return Path(self.trace_dir or ".") / "trace.jsonl"
 
     def resolved_parallelism(self) -> tuple[int, str]:
         """``(worker count, executor mode)`` for this run.

@@ -145,10 +145,14 @@ class UnitOutcome:
     elapsed: float = 0.0
     #: Chaos faults injected while computing the unit.
     injected: int = 0
+    #: Per-unit :meth:`~repro.obs.MetricsRegistry.dump` delta
+    #: (``None`` unless the run has ``metrics_enabled``).
+    metrics: dict[str, Any] | None = None
 
 
-#: Pickled ``(config, dictionary_json | None)`` for the current pool,
-#: set by the pool initializer (per process, shared across threads).
+#: Pickled ``(config, dictionary_json | None, pool_mode)`` for the
+#: current pool, set by the pool initializer (per process, shared
+#: across threads).
 _WORKER_PAYLOAD: bytes | None = None
 
 #: Per-thread lazily built worker state.  Thread pools need the
@@ -168,12 +172,18 @@ class _WorkerState:
     """Everything a worker builds once and reuses across its units."""
 
     def __init__(self, config: "PipelineConfig",
-                 dictionary_json: str | None) -> None:
+                 dictionary_json: str | None,
+                 pool_mode: str = "process") -> None:
         from ..parsing import default_registry
         from .resilience import FailurePolicy
         from .stages import OcrStage
 
         self.config = config
+        #: ``thread`` workers share the coordinator's process-global
+        #: token cache (the coordinator's own start/end sampling
+        #: already covers them); ``process`` workers own a private
+        #: cache, so only they ship token-cache deltas home.
+        self.pool_mode = pool_mode
         # ``threshold`` enforcement needs run-global counters, which
         # only the coordinator has: workers capture failures like
         # ``quarantine`` and the coordinator re-checks the threshold
@@ -196,7 +206,7 @@ class _WorkerState:
             self.tagger = VotingTagger(
                 FailureDictionary.from_json(dictionary_json))
 
-    def guard(self, quarantine):
+    def guard(self, quarantine, metrics=None):
         """A fresh per-unit guard (so health deltas are per unit)."""
         from .chaos import ChaosInjector
         from .resilience import StageGuard
@@ -204,7 +214,16 @@ class _WorkerState:
         chaos = (ChaosInjector(self.config.chaos, self.config.seed)
                  if self.config.chaos is not None else None)
         return StageGuard(policy=self.policy, seed=self.config.seed,
-                          quarantine=quarantine, chaos=chaos)
+                          quarantine=quarantine, chaos=chaos,
+                          metrics=metrics)
+
+    def unit_metrics(self):
+        """A fresh per-unit registry (``None`` when metrics are off)."""
+        if not self.config.metrics_enabled:
+            return None
+        from ..obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
 
 
 def _worker_state() -> _WorkerState:
@@ -212,8 +231,9 @@ def _worker_state() -> _WorkerState:
     if state is None:
         if _WORKER_PAYLOAD is None:  # pragma: no cover - misuse guard
             raise RuntimeError("worker used outside an initialized pool")
-        config, dictionary_json = pickle.loads(_WORKER_PAYLOAD)
-        state = _WorkerState(config, dictionary_json)
+        config, dictionary_json, pool_mode = pickle.loads(
+            _WORKER_PAYLOAD)
+        state = _WorkerState(config, dictionary_json, pool_mode)
         _TLS.state = state
     return state
 
@@ -249,7 +269,8 @@ def _stage2_unit(task: tuple[str, Any]) -> UnitOutcome:
     started = time.perf_counter()
     diagnostics = PipelineDiagnostics()
     database = FailureDatabase()
-    guard = state.guard(database.quarantine)
+    metrics = state.unit_metrics()
+    guard = state.guard(database.quarantine, metrics=metrics)
     queue = (state.ocr_stage.queue if state.ocr_stage is not None
              else None)
     pages_before = queue.pages_transcribed if queue is not None else 0
@@ -279,7 +300,8 @@ def _stage2_unit(task: tuple[str, Any]) -> UnitOutcome:
     return UnitOutcome(
         body=body, health=_health_delta(guard), error=error, ocr=ocr,
         elapsed=time.perf_counter() - started,
-        injected=guard.chaos.injected if guard.chaos is not None else 0)
+        injected=guard.chaos.injected if guard.chaos is not None else 0,
+        metrics=metrics.dump() if metrics is not None else None)
 
 
 def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
@@ -291,7 +313,16 @@ def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
 
     state = _worker_state()
     started = time.perf_counter()
-    guard = state.guard(Quarantine())
+    metrics = state.unit_metrics()
+    guard = state.guard(Quarantine(), metrics=metrics)
+    cache_before = None
+    if metrics is not None and state.pool_mode == "process":
+        # A process worker owns a private token cache; its delta must
+        # ride home with the unit.  Thread workers share the
+        # coordinator's cache, which the runner samples globally.
+        from ..nlp.textcache import token_cache
+
+        cache_before = token_cache().stats()
     body, error = None, None
     try:
         result = guard.run("tag", record_id,
@@ -301,10 +332,22 @@ def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
                 "category": result.category.value}
     except PipelineError as exc:
         error = str(exc)
+    if cache_before is not None:
+        from ..nlp.textcache import token_cache
+        from ..obs.metrics import TOKEN_CACHE_HITS, TOKEN_CACHE_MISSES
+
+        after = token_cache().stats()
+        metrics.counter(
+            TOKEN_CACHE_HITS, "Token-memo hits").inc(
+            after["hits"] - cache_before["hits"])
+        metrics.counter(
+            TOKEN_CACHE_MISSES, "Token-memo misses").inc(
+            after["misses"] - cache_before["misses"])
     return UnitOutcome(
         body=body, health=_health_delta(guard), error=error,
         elapsed=time.perf_counter() - started,
-        injected=guard.chaos.injected if guard.chaos is not None else 0)
+        injected=guard.chaos.injected if guard.chaos is not None else 0,
+        metrics=metrics.dump() if metrics is not None else None)
 
 
 # ----------------------------------------------------------------------
@@ -314,13 +357,16 @@ def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
 def worker_config(config: "PipelineConfig") -> "PipelineConfig":
     """The slice of the run config a worker needs.
 
-    Crash points, checkpointing, and nested parallelism are
+    Crash points, checkpointing, tracing, and nested parallelism are
     coordinator concerns; stripping them keeps the worker payload
     small and makes it impossible for a worker to journal, crash the
-    run, or spawn its own pool.
+    run, write a trace file, or spawn its own pool.
+    (``metrics_enabled`` survives: workers collect per-unit metric
+    deltas the coordinator merges.)
     """
     return replace(config, crash=None, checkpoint_dir=None,
-                   resume=False, workers=0, worker_mode="auto")
+                   resume=False, workers=0, worker_mode="auto",
+                   trace_enabled=False, trace_dir=None)
 
 
 class ParallelExecutor:
@@ -348,7 +394,8 @@ class ParallelExecutor:
         self._payload: bytes | None = None
 
     def _ensure_pool(self, dictionary_json: str | None) -> Executor:
-        payload = pickle.dumps((self._config, dictionary_json))
+        payload = pickle.dumps(
+            (self._config, dictionary_json, self.mode))
         if self._pool is not None and payload == self._payload:
             return self._pool
         self.close()

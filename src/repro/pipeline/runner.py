@@ -37,6 +37,9 @@ from ..errors import (
 from ..nlp.dictionary import FailureDictionary
 from ..nlp.evaluation import evaluate_tagger
 from ..nlp.tagger import VotingTagger
+from ..nlp.textcache import token_cache
+from ..obs.metrics import TOKEN_CACHE_HITS, TOKEN_CACHE_MISSES
+from ..obs.runtime import Observability
 from ..parsing import (
     default_registry,
     filter_records,
@@ -88,12 +91,14 @@ def process_corpus(corpus: SyntheticCorpus,
     config = config or PipelineConfig()
     diagnostics = PipelineDiagnostics()
     database = FailureDatabase()
+    obs = Observability.for_run(config)
     guard = StageGuard(
         policy=config.resolved_policy(),
         seed=config.seed,
         quarantine=database.quarantine,
         chaos=(ChaosInjector(config.chaos, config.seed)
-               if config.chaos is not None else None))
+               if config.chaos is not None else None),
+        metrics=obs.registry)
     diagnostics.health = guard.health
     store = None
     if config.checkpointing_active:
@@ -101,24 +106,59 @@ def process_corpus(corpus: SyntheticCorpus,
             config.checkpoint_dir, config_fingerprint(config),
             health=guard.health.checkpoint)
         store.open(resume=config.resume)
+    cache_before = (token_cache().stats()
+                    if obs.registry is not None else None)
     try:
-        return _process(corpus, config, diagnostics, database, guard,
-                        store)
+        with obs.tracer.span("run", kind="run", seed=config.seed,
+                             workers=config.workers):
+            result = _process(corpus, config, diagnostics, database,
+                              guard, store, obs)
+        _snapshot_obs(obs, diagnostics, config, cache_before)
+        return result
     finally:
         if store is not None:
             store.close()
+        obs.close()
+
+
+def _snapshot_obs(obs: Observability,
+                  diagnostics: PipelineDiagnostics,
+                  config: PipelineConfig,
+                  cache_before: dict | None) -> None:
+    """Fold end-of-run samples in and snapshot onto diagnostics.
+
+    The token-cache counters are sampled as a start/end delta of the
+    process-global cache: in serial and thread-pool runs that covers
+    every consumer; process-pool workers ship their private caches'
+    deltas home per unit instead (see ``parallel._stage3_unit``).
+    """
+    registry = obs.registry
+    if registry is not None:
+        if cache_before is not None:
+            after = token_cache().stats()
+            registry.counter(
+                TOKEN_CACHE_HITS, "Token-memo hits").inc(
+                after["hits"] - cache_before["hits"])
+            registry.counter(
+                TOKEN_CACHE_MISSES, "Token-memo misses").inc(
+                after["misses"] - cache_before["misses"])
+        diagnostics.metrics = registry.to_dict()
+        obs.publish()
+    if config.trace_path is not None:
+        diagnostics.trace_path = str(config.trace_path)
 
 
 def _process(corpus: SyntheticCorpus, config: PipelineConfig,
              diagnostics: PipelineDiagnostics,
              database: FailureDatabase, guard: StageGuard,
-             store: CheckpointStore | None) -> PipelineResult:
+             store: CheckpointStore | None,
+             obs: Observability) -> PipelineResult:
     executor = None
     if config.resolved_parallelism()[1] != "serial":
         executor = ParallelExecutor(config, diagnostics.parallel)
     try:
         return _run_stages(corpus, config, diagnostics, database,
-                           guard, store, executor)
+                           guard, store, executor, obs)
     finally:
         if executor is not None:
             executor.close()
@@ -128,7 +168,8 @@ def _run_stages(corpus: SyntheticCorpus, config: PipelineConfig,
                 diagnostics: PipelineDiagnostics,
                 database: FailureDatabase, guard: StageGuard,
                 store: CheckpointStore | None,
-                executor: ParallelExecutor | None) -> PipelineResult:
+                executor: ParallelExecutor | None,
+                obs: Observability) -> PipelineResult:
     crash = CrashController(config.crash)
     checkpoint = guard.health.checkpoint
     par = diagnostics.parallel
@@ -141,10 +182,12 @@ def _run_stages(corpus: SyntheticCorpus, config: PipelineConfig,
     raw_disengagements: list[DisengagementRecord] = []
     raw_mileage: list[MonthlyMileage] = []
     started = time.perf_counter()
-    _stage2_disengagements(
-        corpus.disengagement_documents, config, diagnostics, database,
-        guard, store, crash, ocr_stage, registry, executor,
-        raw_disengagements, raw_mileage)
+    with obs.stage("parse-documents",
+                   documents=len(corpus.disengagement_documents)):
+        _stage2_disengagements(
+            corpus.disengagement_documents, config, diagnostics,
+            database, guard, store, crash, ocr_stage, registry,
+            executor, raw_disengagements, raw_mileage, obs)
     _mark_stage(par, "parse-documents", started, executor is not None)
     crash.reached("parse-documents")
     if store is not None:
@@ -152,9 +195,11 @@ def _run_stages(corpus: SyntheticCorpus, config: PipelineConfig,
 
     # ---- Stage II: accident reports (per-document) -------------------
     started = time.perf_counter()
-    _stage2_accidents(
-        corpus.accident_documents, config, diagnostics, database,
-        guard, store, crash, ocr_stage, executor)
+    with obs.stage("accident-documents",
+                   documents=len(corpus.accident_documents)):
+        _stage2_accidents(
+            corpus.accident_documents, config, diagnostics, database,
+            guard, store, crash, ocr_stage, executor, obs)
     _mark_stage(par, "accident-documents", started,
                 executor is not None)
     crash.reached("accident-documents")
@@ -163,46 +208,49 @@ def _run_stages(corpus: SyntheticCorpus, config: PipelineConfig,
 
     # ---- Stage II/III boundary: normalize + filter -------------------
     started = time.perf_counter()
-    restored_norm = _restore_normalized(store, config, diagnostics,
-                                        checkpoint)
-    if restored_norm is not None:
-        filtered, mileage = restored_norm
-    else:
-        normalized, mileage, norm_stats = normalize_records(
-            raw_disengagements, raw_mileage)
-        diagnostics.normalization = norm_stats
-        filtered, filter_stats = filter_records(
-            normalized, drop_planned=config.drop_planned)
-        diagnostics.filters = filter_stats
-        if store is not None:
-            store.write_artifact("normalized", {
-                "disengagements": [r.to_dict() for r in filtered],
-                "mileage": [m.to_dict() for m in mileage],
-                "normalization": asdict(norm_stats),
-                "filters": asdict(filter_stats),
-            })
+    with obs.stage("normalize"):
+        restored_norm = _restore_normalized(store, config, diagnostics,
+                                            checkpoint)
+        if restored_norm is not None:
+            filtered, mileage = restored_norm
+        else:
+            normalized, mileage, norm_stats = normalize_records(
+                raw_disengagements, raw_mileage)
+            diagnostics.normalization = norm_stats
+            filtered, filter_stats = filter_records(
+                normalized, drop_planned=config.drop_planned)
+            diagnostics.filters = filter_stats
+            if store is not None:
+                store.write_artifact("normalized", {
+                    "disengagements": [r.to_dict() for r in filtered],
+                    "mileage": [m.to_dict() for m in mileage],
+                    "normalization": asdict(norm_stats),
+                    "filters": asdict(filter_stats),
+                })
     _mark_stage(par, "normalize", started)
     crash.reached("normalize")
 
     # ---- Stage III: dictionary + tagging -----------------------------
     started = time.perf_counter()
-    dictionary = _restore_dictionary(store, config, checkpoint)
-    if dictionary is None:
-        dictionary = guard.run(
-            "dictionary", "corpus",
-            lambda: _build_dictionary(filtered, config),
-            fallback=lambda: _degraded_dictionary())
-        if store is not None:
-            store.write_artifact(
-                "dictionary", json.loads(dictionary.to_json()))
-    diagnostics.dictionary_entries = len(dictionary)
+    with obs.stage("dictionary", mode=config.dictionary_mode):
+        dictionary = _restore_dictionary(store, config, checkpoint)
+        if dictionary is None:
+            dictionary = guard.run(
+                "dictionary", "corpus",
+                lambda: _build_dictionary(filtered, config),
+                fallback=lambda: _degraded_dictionary())
+            if store is not None:
+                store.write_artifact(
+                    "dictionary", json.loads(dictionary.to_json()))
+        diagnostics.dictionary_entries = len(dictionary)
     _mark_stage(par, "dictionary", started)
     crash.reached("dictionary")
 
     tagger = VotingTagger(dictionary)
     started = time.perf_counter()
-    _stage3_tags(filtered, dictionary, tagger, config, guard, store,
-                 crash, checkpoint, executor, par)
+    with obs.stage("tag", records=len(filtered)):
+        _stage3_tags(filtered, dictionary, tagger, config, guard,
+                     store, crash, checkpoint, executor, par, obs)
     _mark_stage(par, "tag", started, executor is not None)
     crash.reached("tag")
     if store is not None:
@@ -210,7 +258,8 @@ def _run_stages(corpus: SyntheticCorpus, config: PipelineConfig,
 
     if config.attach_truth:
         started = time.perf_counter()
-        diagnostics.tagging = evaluate_tagger(tagger, filtered)
+        with obs.stage("evaluate"):
+            diagnostics.tagging = evaluate_tagger(tagger, filtered)
         _mark_stage(par, "evaluate", started)
 
     database.disengagements = filtered
@@ -244,9 +293,11 @@ def _stage2_disengagements(documents, config: PipelineConfig,
                            ocr_stage: OcrStage | None, registry,
                            executor: ParallelExecutor | None,
                            raw_disengagements: list,
-                           raw_mileage: list) -> None:
+                           raw_mileage: list,
+                           obs: Observability) -> None:
     checkpoint = guard.health.checkpoint
     restored_docs = store.restored("documents") if store else {}
+    units_c = obs.unit_counter("parse-documents")
     results = None
     if executor is not None:
         results = executor.map_documents(
@@ -254,25 +305,31 @@ def _stage2_disengagements(documents, config: PipelineConfig,
             if document.document_id not in restored_docs)
     for index, document in enumerate(documents):
         crash.reached_mid("mid-parse-documents", index, len(documents))
+        if units_c is not None:
+            units_c.inc()
         entry = restored_docs.get(document.document_id)
         if entry is not None and _restore_disengagement(
                 entry, diagnostics, database, guard,
                 raw_disengagements, raw_mileage):
             checkpoint.restored_units += 1
+            obs.restored_unit("parse-documents", document.document_id)
             continue
         if results is None or entry is not None:
             # Serial path — also the fallback for a unit whose
             # checkpoint entry was corrupt (it was never dispatched,
             # so it is recomputed inline, exactly like a serial run).
-            body = _process_disengagement(
-                document, config, diagnostics, database, guard,
-                ocr_stage, registry, raw_disengagements, raw_mileage,
-                journal=store is not None)
+            with obs.unit("parse-documents", document.document_id):
+                body = _process_disengagement(
+                    document, config, diagnostics, database, guard,
+                    ocr_stage, registry, raw_disengagements,
+                    raw_mileage, journal=store is not None)
         else:
+            outcome = _tally(next(results), diagnostics.parallel)
+            obs.merged_unit("parse-documents", document.document_id,
+                            outcome.elapsed)
             body = _merge_stage2(
-                _tally(next(results), diagnostics.parallel),
-                "disengagement", diagnostics, database, guard,
-                raw_disengagements, raw_mileage)
+                outcome, "disengagement", diagnostics, database,
+                guard, raw_disengagements, raw_mileage)
         if store is not None:
             store.append("documents", document.document_id, body)
             checkpoint.recomputed_units += 1
@@ -284,28 +341,38 @@ def _stage2_accidents(documents, config: PipelineConfig,
                       store: CheckpointStore | None,
                       crash: CrashController,
                       ocr_stage: OcrStage | None,
-                      executor: ParallelExecutor | None) -> None:
+                      executor: ParallelExecutor | None,
+                      obs: Observability) -> None:
     checkpoint = guard.health.checkpoint
     restored_accidents = store.restored("accidents") if store else {}
+    units_c = obs.unit_counter("accident-documents")
     results = None
     if executor is not None:
         results = executor.map_documents(
             ("accident", document) for document in documents
             if document.document_id not in restored_accidents)
     for document in documents:
+        if units_c is not None:
+            units_c.inc()
         entry = restored_accidents.get(document.document_id)
         if entry is not None and _restore_accident(
                 entry, diagnostics, database, guard):
             checkpoint.restored_units += 1
+            obs.restored_unit("accident-documents",
+                              document.document_id)
             continue
         if results is None or entry is not None:
-            body = _process_accident(
-                document, config, diagnostics, database, guard,
-                ocr_stage, journal=store is not None)
+            with obs.unit("accident-documents", document.document_id):
+                body = _process_accident(
+                    document, config, diagnostics, database, guard,
+                    ocr_stage, journal=store is not None)
         else:
+            outcome = _tally(next(results), diagnostics.parallel)
+            obs.merged_unit("accident-documents",
+                            document.document_id, outcome.elapsed)
             body = _merge_stage2(
-                _tally(next(results), diagnostics.parallel),
-                "accident", diagnostics, database, guard, None, None)
+                outcome, "accident", diagnostics, database, guard,
+                None, None)
         if store is not None:
             store.append("accidents", document.document_id, body)
             checkpoint.recomputed_units += 1
@@ -316,9 +383,10 @@ def _stage3_tags(filtered, dictionary, tagger,
                  store: CheckpointStore | None,
                  crash: CrashController, checkpoint,
                  executor: ParallelExecutor | None,
-                 par: ParallelStats) -> None:
+                 par: ParallelStats, obs: Observability) -> None:
     restored_tags = store.restored("tags") if store else {}
     record_ids = [_record_id(record) for record in filtered]
+    units_c = obs.unit_counter("tag")
     results = None
     if executor is not None:
         pending = [(rid, record.description)
@@ -327,21 +395,27 @@ def _stage3_tags(filtered, dictionary, tagger,
         results = executor.map_tags(dictionary.to_json(), pending)
     for index, record in enumerate(filtered):
         crash.reached_mid("mid-tag", index, len(filtered))
+        if units_c is not None:
+            units_c.inc()
         record_id = record_ids[index]
         entry = restored_tags.get(record_id)
         if entry is not None and _restore_tag(entry, record,
                                               checkpoint):
             checkpoint.restored_units += 1
+            obs.restored_unit("tag", record_id)
             continue
         if results is None or entry is not None:
-            result = guard.run(
-                "tag", record_id,
-                lambda: tagger.tag(record.description),
-                fallback=_unknown_tag)
-            record.tag = result.tag
-            record.category = result.category
+            with obs.unit("tag", record_id):
+                result = guard.run(
+                    "tag", record_id,
+                    lambda: tagger.tag(record.description),
+                    fallback=_unknown_tag)
+                record.tag = result.tag
+                record.category = result.category
         else:
-            _merge_tag(_tally(next(results), par), record, guard)
+            outcome = _tally(next(results), par)
+            obs.merged_unit("tag", record_id, outcome.elapsed)
+            _merge_tag(outcome, record, guard)
         if store is not None:
             store.append("tags", record_id, {
                 "tag": record.tag.value,
@@ -424,6 +498,8 @@ def _merge_worker_health(outcome: UnitOutcome,
     guard.health.degradation_events.extend(outcome.health["events"])
     if guard.chaos is not None:
         guard.chaos.injected += outcome.injected
+    if outcome.metrics is not None and guard.metrics is not None:
+        guard.metrics.merge(outcome.metrics)
 
 
 def _check_merged_thresholds(outcome: UnitOutcome,

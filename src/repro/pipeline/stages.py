@@ -67,6 +67,12 @@ class PipelineDiagnostics:
     #: Per-stage wall times plus worker-pool accounting (worker
     #: count, fanned-out units, estimated speedup vs serial).
     parallel: ParallelStats = field(default_factory=ParallelStats)
+    #: JSON-able snapshot of the run's metrics registry (``None``
+    #: unless the run was started with ``metrics_enabled``).
+    metrics: dict | None = None
+    #: Where the run published its JSONL span trace (``None`` unless
+    #: tracing was active).
+    trace_path: str | None = None
 
 
 class OcrStage:

@@ -19,31 +19,55 @@ manufacturer&manufacturer=Waymo&month_from=2015-01``; repeat
 same fields as a JSON object.  The ``/metrics/*`` shortcuts accept
 the filter parameters too.
 
-Every response is JSON.  Errors are structured:  400 carries
-``{"error": ...}`` for an invalid query, 404 for an unknown path,
-422 when the database is too thin for the requested statistic
+Every response is JSON except ``GET /metrics``, which serves the
+process metrics registry in the Prometheus text exposition format —
+request counts/latency by route, the query-result LRU and database
+index sampled at scrape time, and (when the pipeline ran in this
+process with ``metrics_enabled``) the pipeline series too.  Errors
+are structured:  400 carries ``{"error": ...}`` for an invalid
+query, 404 for an unknown path, 422 when the database is too thin
+for the requested statistic
 (:class:`~repro.errors.InsufficientDataError`).
 
 Concurrency: requests are served on one thread each; the engine's
-index is immutable and its cache locks internally, so concurrent
-reads need no further coordination.
+index is immutable, its cache locks internally, and the metrics
+registry locks per metric, so concurrent reads need no further
+coordination.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..errors import InsufficientDataError, QueryError, ReproError
+from ..obs.metrics import (
+    HTTP_LATENCY,
+    HTTP_REQUESTS,
+    INDEX_RECORDS,
+    QUERY_CACHE_EVICTIONS,
+    QUERY_CACHE_HITS,
+    QUERY_CACHE_MISSES,
+    QUERY_CACHE_SIZE,
+    MetricsRegistry,
+    default_registry,
+)
 from ..pipeline.store import FailureDatabase
 from .engine import Query, QueryEngine
 
 #: Metric families reachable as ``/metrics/<name>`` shortcuts.
 METRIC_SHORTCUTS = ("dpm", "apm", "dpa")
+
+#: Routes the request metrics label individually; anything else is
+#: folded into ``<unknown>`` so scanners can't explode cardinality.
+_KNOWN_ROUTES = frozenset(
+    {"/", "/healthz", "/stats", "/manufacturers", "/query",
+     "/metrics"} | {f"/metrics/{name}" for name in METRIC_SHORTCUTS})
 
 
 def _query_from_params(params: Mapping[str, list[str]]) -> Query:
@@ -90,11 +114,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Any) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, "application/json", body)
+
+    def _send_body(self, status: int, content_type: str,
+                   body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._observe(status)
+
+    def _observe(self, status: int) -> None:
+        """Record the request into the server's metrics registry."""
+        server = self.server
+        requests = getattr(server, "http_requests", None)
+        if requests is None:
+            return
+        route = getattr(self, "_route", "<unknown>")
+        requests.labels(route, str(status)).inc()
+        started = getattr(self, "_started", None)
+        if started is not None:
+            server.http_latency.labels(route).observe(
+                time.perf_counter() - started)
 
     def _dispatch(self, handler, *args) -> None:
         try:
@@ -110,9 +152,12 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._started = time.perf_counter()
         url = urlsplit(self.path)
         params = parse_qs(url.query)
         route = url.path.rstrip("/") or "/"
+        self._route = (route if route in _KNOWN_ROUTES
+                       else "<unknown>")
         if route == "/healthz":
             self._dispatch(self._healthz)
         elif route == "/stats":
@@ -121,6 +166,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(self._manufacturers)
         elif route == "/query":
             self._dispatch(self._query_get, params)
+        elif route == "/metrics":
+            self._metrics_exposition()
         elif route.startswith("/metrics/"):
             self._dispatch(self._metric, route[len("/metrics/"):],
                            params)
@@ -129,7 +176,9 @@ class _Handler(BaseHTTPRequestHandler):
                                            f"{url.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._started = time.perf_counter()
         route = urlsplit(self.path).path.rstrip("/")
+        self._route = route if route == "/query" else "<unknown>"
         if route != "/query":
             self._send_json(404, {"error": f"unknown path "
                                            f"{self.path!r}"})
@@ -167,6 +216,36 @@ class _Handler(BaseHTTPRequestHandler):
     def _query_post(self, data) -> tuple[int, Any]:
         return 200, self.engine.execute(Query.from_dict(data)).to_dict()
 
+    def _metrics_exposition(self) -> None:
+        """``GET /metrics``: the registry as Prometheus text.
+
+        Cache and index levels are *sampled at scrape time* — they are
+        gauges owned by the engine, not counters the request path
+        maintains — so a scrape always reflects the live state.
+        """
+        registry: MetricsRegistry = self.server.metrics
+        stats = self.engine.stats()
+        cache = stats["cache"]
+        registry.gauge(
+            QUERY_CACHE_HITS, "Query-result LRU hits").set(
+            cache["hits"])
+        registry.gauge(
+            QUERY_CACHE_MISSES, "Query-result LRU misses").set(
+            cache["misses"])
+        registry.gauge(
+            QUERY_CACHE_EVICTIONS, "Query-result LRU evictions").set(
+            cache["evictions"])
+        registry.gauge(
+            QUERY_CACHE_SIZE, "Query-result LRU resident entries").set(
+            cache["size"])
+        index_g = registry.gauge(
+            INDEX_RECORDS, "Records in the served database index",
+            ("kind",))
+        for kind in ("disengagements", "accidents", "mileage_cells"):
+            index_g.labels(kind).set(stats["index"][kind])
+        body = registry.render_prometheus().encode("utf-8")
+        self._send_body(200, "text/plain; version=0.0.4", body)
+
     def _metric(self, name: str, params) -> tuple[int, Any]:
         if name not in METRIC_SHORTCUTS:
             return 404, {"error": f"unknown metric endpoint {name!r}; "
@@ -193,12 +272,26 @@ class QueryServer:
     def __init__(self, db: FailureDatabase | QueryEngine,
                  host: str = "127.0.0.1", port: int = 8350, *,
                  cache_size: int = 256,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 registry: MetricsRegistry | None = None) -> None:
         self.engine = (db if isinstance(db, QueryEngine)
                        else QueryEngine(db, cache_size=cache_size))
+        # The process-global registry by default, so a pipeline run in
+        # this process shows up on the same /metrics scrape.
+        self.registry = registry or default_registry()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.engine = self.engine  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.metrics = (  # type: ignore[attr-defined]
+            self.registry)
+        self._httpd.http_requests = (  # type: ignore[attr-defined]
+            self.registry.counter(
+                HTTP_REQUESTS, "HTTP requests by route and status",
+                ("route", "status")))
+        self._httpd.http_latency = (  # type: ignore[attr-defined]
+            self.registry.histogram(
+                HTTP_LATENCY, "HTTP request latency by route",
+                ("route",)))
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
 

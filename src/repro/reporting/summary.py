@@ -260,6 +260,57 @@ def _render_checkpoint_health(checkpoint, w) -> None:
         w(f"  durability:  {note}")
 
 
+def render_trace_summary(rows: list[dict]) -> str:
+    """Render a self-time table from aggregated trace rows.
+
+    ``rows`` is :func:`repro.obs.self_times` output (already sorted
+    hottest-first); this is the body of the ``repro trace`` verb.
+    """
+    out: list[str] = []
+    w = out.append
+    w(f"{'name':<24s} {'kind':<6s} {'count':>6s} "
+      f"{'total_s':>9s} {'self_s':>9s} {'errors':>6s}")
+    for row in rows:
+        w(f"{row['name']:<24s} {row['kind']:<6s} "
+          f"{row['count']:>6d} {row['total_s']:>9.3f} "
+          f"{row['self_s']:>9.3f} {row['errors']:>6d}")
+    total_self = sum(row["self_s"] for row in rows)
+    w(f"{'total':<24s} {'':<6s} {'':>6s} {'':>9s} "
+      f"{total_self:>9.3f} {'':>6s}")
+    return "\n".join(out)
+
+
+def render_metrics_summary(metrics: dict) -> str:
+    """Render a metrics snapshot as a compact text digest.
+
+    ``metrics`` is :meth:`repro.obs.MetricsRegistry.to_dict` output
+    (as stored on ``PipelineDiagnostics.metrics``); counters and
+    gauges print their per-label values, histograms their count and
+    mean.
+    """
+    out: list[str] = []
+    w = out.append
+    for name, data in sorted(metrics.items()):
+        for series in data.get("series", []):
+            labels = series.get("labels") or {}
+            suffix = ("{" + ",".join(f"{k}={v}"
+                                     for k, v in sorted(labels.items()))
+                      + "}") if labels else ""
+            if data.get("type") == "histogram":
+                count = series.get("count", 0)
+                mean = (series.get("sum", 0.0) / count) if count else 0.0
+                w(f"  {name}{suffix}: {count} obs, "
+                  f"mean {mean * 1000.0:.3f}ms")
+            else:
+                value = series.get("value", 0.0)
+                rendered = (f"{int(value)}" if float(value).is_integer()
+                            else f"{value:.3f}")
+                w(f"  {name}{suffix}: {rendered}")
+    if not out:
+        return "metrics:        (no series recorded)"
+    return "metrics:\n" + "\n".join(out)
+
+
 def _render_parallel_stats(parallel, w) -> None:
     """Append the worker-pool view (silent for serial runs)."""
     if parallel is None or not parallel.enabled:

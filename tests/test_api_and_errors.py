@@ -113,3 +113,57 @@ class TestErrorHierarchy:
             raise FieldCoercionError("nope")
         except ReproError as caught:
             assert "nope" in str(caught)
+
+
+class TestApiFacade:
+    def test_lazy_attribute_resolves_to_module(self):
+        import repro.api as api_module
+
+        assert repro.api is api_module
+        assert "api" in repro.__all__
+
+    def test_all_facade_exports_resolve(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_blessed_surface_present(self):
+        from repro import api
+
+        for name in ("run_pipeline", "process_corpus", "build_corpus",
+                     "load_database", "PipelineConfig", "Query",
+                     "QueryEngine", "QueryServer", "FailureDatabase",
+                     "MetricsRegistry", "Tracer", "load_trace",
+                     "self_times", "ReproError",
+                     "CorruptDatabaseError"):
+            assert name in api.__all__, name
+
+    def test_build_corpus_aliases_generate_corpus(self):
+        from repro import api
+        from repro.synth import generate_corpus
+
+        via_facade = api.build_corpus(seed=7,
+                                      manufacturers=["Nissan"])
+        direct = generate_corpus(7, ["Nissan"])
+        assert len(via_facade.documents) == len(direct.documents)
+
+    def test_load_database_missing_file_is_corrupt_error(self,
+                                                         tmp_path):
+        from repro import api
+
+        with pytest.raises(CorruptDatabaseError) as excinfo:
+            api.load_database(tmp_path / "absent.json")
+        assert excinfo.value.reason == "missing"
+        assert str(tmp_path / "absent.json") in str(excinfo.value)
+
+    def test_load_database_roundtrip(self, small_db, tmp_path):
+        from repro import api
+
+        small_db.save(tmp_path / "db.json")
+        loaded = api.load_database(tmp_path / "db.json")
+        assert loaded.fingerprint() == small_db.fingerprint()
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing

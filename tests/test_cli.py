@@ -265,3 +265,106 @@ class TestServeVerb:
                 body = json_mod.loads(res.read())
         assert body["status"] == "ok"
         assert body["fingerprint"] == db.fingerprint()
+
+
+class TestSharedFlagConventions:
+    def test_quiet_run_prints_nothing(self, tmp_path, capsys):
+        path = tmp_path / "db.json"
+        code = main(["run", "--seed", "5", "--manufacturers", "Ford",
+                     "--no-ocr", "--out", str(path), "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        assert path.exists()
+
+    def test_json_run_payload(self, capsys):
+        code = main(["run", "--seed", "5", "--manufacturers", "Ford",
+                     "--no-ocr", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["disengagements"] == 3
+        assert payload["health"]["clean"] is True
+
+    def test_json_available_on_db_verbs(self, nissan_db_path, capsys):
+        for argv, key in (
+                (["stpa"], "total"),
+                (["lint"], "findings"),
+                (["validate"], "tag_accuracy"),
+                (["report", "table6"], "experiments")):
+            code = main([*argv, "--db", str(nissan_db_path), "--json"])
+            assert code == 0
+            assert key in json.loads(capsys.readouterr().out)
+
+    def test_pretty_alias_still_works_with_warning(
+            self, nissan_db_path, capsys):
+        code = main(["query", "dpm", "--db", str(nissan_db_path),
+                     "--pretty"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--json" in captured.err
+        assert captured.out.startswith("{\n")  # indented output
+
+    def test_pretty_stays_out_of_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--help"])
+        assert "--pretty" not in capsys.readouterr().out
+
+    def test_missing_db_exits_2_with_structured_error(self, tmp_path,
+                                                      capsys):
+        for argv in (["query", "dpm"], ["serve"], ["lint"]):
+            code = main([*argv, "--db", str(tmp_path / "nope.json")])
+            assert code == 2
+            err = capsys.readouterr().err
+            assert "repro: error:" in err
+            assert "does not exist" in err
+            assert "Traceback" not in err
+
+    def test_corrupt_db_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{definitely not a database",
+                       encoding="utf-8")
+        code = main(["query", "dpm", "--db", str(bad)])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestTraceVerb:
+    def test_traced_run_then_trace_verb(self, tmp_path, capsys):
+        code = main(["run", "--seed", "5", "--manufacturers", "Ford",
+                     "--no-ocr", "--trace-dir", str(tmp_path),
+                     "--quiet"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["trace", str(tmp_path / "trace.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self_s" in out
+        assert "tag units" in out
+
+    def test_trace_json_rows(self, tmp_path, capsys):
+        assert main(["run", "--seed", "5", "--manufacturers", "Ford",
+                     "--no-ocr", "--trace-dir", str(tmp_path),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        code = main(["trace", str(tmp_path / "trace.jsonl"),
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] > 0
+        names = {row["name"] for row in payload["rows"]}
+        assert "run" in names
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_run_summary_mentions_trace_and_metrics(self, tmp_path,
+                                                    capsys):
+        code = main(["run", "--seed", "5", "--manufacturers", "Ford",
+                     "--no-ocr", "--trace-dir", str(tmp_path),
+                     "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "repro_stage_duration_seconds" in out
