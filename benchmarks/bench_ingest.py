@@ -1,0 +1,277 @@
+"""Incremental ingestion speedup and hot-swap serving overhead.
+
+Two recorded budgets for the always-on serving layer:
+
+1. **Delta ingest ≥3× faster than a full rebuild.**  Growing the
+   seed-2018 corpus by ~10% new documents and re-ingesting must beat
+   re-processing the combined corpus from scratch by at least 3×,
+   while producing a byte-identical database (the parity is asserted,
+   not assumed).
+2. **Hot-swapping adds ≤5% p99 latency.**  A server whose snapshot is
+   being swapped continuously underneath must answer queries with a
+   p99 within 5% of the same server serving a static snapshot (with a
+   1 ms absolute floor so the budget is meaningful when the base p99
+   is sub-millisecond HTTP noise).
+
+Run as a script (``python benchmarks/bench_ingest.py``) for the
+self-contained report + budget assertions — this is what CI runs.
+``--out BENCH_ingest.json`` also records the measurements (the
+committed baseline).  The pytest-benchmark entries time the pieces
+individually.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.pipeline import PipelineConfig, ingest_corpus, process_corpus
+from repro.query import QueryEngine, QueryServer, SnapshotManager
+from repro.synth import generate_corpus
+from repro.synth.dataset import SyntheticCorpus
+
+SEED = 2018
+
+#: Delta ingest of ~10% new documents must beat a full rebuild by this.
+DELTA_SPEEDUP_BUDGET = 3.0
+
+#: Relative p99 budget for serving under continuous hot-swaps...
+SWAP_P99_BUDGET = 1.05
+#: ...with an absolute floor (seconds): sub-millisecond HTTP p99s are
+#: scheduler noise, not swap overhead.
+SWAP_P99_FLOOR_S = 0.001
+
+#: Fraction of the corpus withheld from the base ingest (the "drop").
+DELTA_FRACTION = 0.10
+
+
+def _config(checkpoint_dir=None) -> PipelineConfig:
+    return PipelineConfig(seed=SEED, dictionary_mode="seed",
+                          checkpoint_dir=checkpoint_dir)
+
+
+def _split(corpus):
+    """(base, combined): the last ~10% of documents are the delta."""
+    keep = len(corpus.documents) - max(
+        1, int(len(corpus.documents) * DELTA_FRACTION))
+    base = SyntheticCorpus(seed=corpus.seed,
+                           documents=corpus.documents[:keep])
+    return base, corpus
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entries.
+# ----------------------------------------------------------------------
+
+
+def test_full_rebuild(benchmark):
+    corpus = generate_corpus(SEED)
+    result = benchmark(lambda: process_corpus(corpus, _config()))
+    assert len(result.database.disengagements) > 1000
+
+
+def test_delta_ingest(benchmark, tmp_path):
+    corpus = generate_corpus(SEED)
+    base, combined = _split(corpus)
+    prepared = tmp_path / "prepared"
+    ingest_corpus(base, _config(prepared))
+
+    def delta():
+        with tempfile.TemporaryDirectory(dir=tmp_path) as scratch:
+            work = Path(scratch) / "ckpt"
+            shutil.copytree(prepared, work)
+            return ingest_corpus(combined, _config(work))
+
+    outcome = benchmark(delta)
+    assert outcome.report.full_rebuild is False
+    assert outcome.report.reused_documents > 0
+
+
+def test_snapshot_swap(benchmark, tmp_path):
+    corpus = generate_corpus(SEED)
+    base, combined = _split(corpus)
+    db_a = process_corpus(base, _config()).database
+    db_b = process_corpus(combined, _config()).database
+    manager = SnapshotManager(db_a)
+    state = {"flip": False}
+
+    def swap():
+        state["flip"] = not state["flip"]
+        manager.swap_database(db_b if state["flip"] else db_a)
+
+    benchmark(swap)
+    assert manager.generation > 1
+
+
+# ----------------------------------------------------------------------
+# Self-contained report (what CI runs).
+# ----------------------------------------------------------------------
+
+
+def _measure_delta_speedup(report: dict, failures: list[str],
+                           rounds: int) -> None:
+    corpus = generate_corpus(SEED)
+    base, combined = _split(corpus)
+    delta_docs = len(combined.documents) - len(base.documents)
+    print(f"corpus: {len(combined.documents)} documents, "
+          f"{delta_docs} of them new in the drop "
+          f"({delta_docs / len(combined.documents):.0%})")
+
+    # Parity first: the speedup budget means nothing if the shortcut
+    # produced a different database.
+    full_result = process_corpus(combined, _config())  # also warms
+    full_fingerprint = full_result.database.fingerprint()
+
+    full_times, delta_times = [], []
+    with tempfile.TemporaryDirectory() as scratch:
+        prepared = Path(scratch) / "prepared"
+        ingest_corpus(base, _config(prepared))
+        for index in range(rounds):
+            start = time.perf_counter()
+            process_corpus(combined, _config())
+            full_times.append(time.perf_counter() - start)
+
+            work = Path(scratch) / f"work-{index}"
+            shutil.copytree(prepared, work)
+            start = time.perf_counter()
+            outcome = ingest_corpus(combined, _config(work))
+            delta_times.append(time.perf_counter() - start)
+            assert (outcome.database.fingerprint()
+                    == full_fingerprint), "ingest parity broken"
+            assert outcome.report.full_rebuild is False
+
+    full_s, delta_s = min(full_times), min(delta_times)
+    speedup = full_s / delta_s
+    report["ingest"] = {
+        "documents": len(combined.documents),
+        "delta_documents": delta_docs,
+        "full_rebuild_s": round(full_s, 3),
+        "delta_ingest_s": round(delta_s, 3),
+        "speedup": round(speedup, 1),
+        "speedup_budget": DELTA_SPEEDUP_BUDGET,
+        "parity": True,
+    }
+    print(f"  full rebuild: {full_s:.3f}s")
+    print(f"  delta ingest: {delta_s:.3f}s (byte-identical output)")
+    print(f"  speedup:      {speedup:.1f}x "
+          f"(budget >={DELTA_SPEEDUP_BUDGET:.0f}x)")
+    if speedup < DELTA_SPEEDUP_BUDGET:
+        failures.append(
+            f"delta ingest speedup {speedup:.1f}x under the "
+            f"{DELTA_SPEEDUP_BUDGET:.0f}x budget")
+
+
+def _p99(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       int(len(ordered) * 0.99))]
+
+
+def _time_requests(url: str, count: int) -> list[float]:
+    samples = []
+    for _ in range(count):
+        start = time.perf_counter()
+        with urllib.request.urlopen(url, timeout=10) as res:
+            res.read()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _measure_swap_overhead(report: dict, failures: list[str],
+                           requests: int) -> None:
+    # The budget isolates the *swap machinery*: the atomic publish
+    # plus the per-request snapshot capture.  The replacement engines
+    # are prebuilt (``swap_engine``), the production shape for a hot
+    # path — candidate fingerprint + index build happen off the
+    # serving path (their cost is the ingest measurement above); on a
+    # single-core box an in-lock build would otherwise steal the GIL
+    # from every request handler and measure build cost, not swap
+    # cost.
+    corpus = generate_corpus(SEED)
+    base, combined = _split(corpus)
+    db_a = process_corpus(base, _config()).database
+    db_b = process_corpus(combined, _config()).database
+    manager = SnapshotManager(db_a)
+    engines = (manager.engine, QueryEngine(db_b))
+
+    with QueryServer(manager, port=0) as server:
+        url = server.url + "/query?metric=count"
+        _time_requests(url, 50)  # warm connections and caches
+        static_p99 = _p99(_time_requests(url, requests))
+
+        stop = threading.Event()
+
+        def swapper() -> None:
+            flip = False
+            while not stop.is_set():
+                flip = not flip
+                manager.swap_engine(engines[int(flip)])
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=swapper, daemon=True)
+        thread.start()
+        try:
+            swapping_p99 = _p99(_time_requests(url, requests))
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        swaps = manager.generation - 1
+
+    allowed = max(static_p99 * SWAP_P99_BUDGET,
+                  static_p99 + SWAP_P99_FLOOR_S)
+    report["hot_swap"] = {
+        "requests": requests,
+        "static_p99_ms": round(static_p99 * 1e3, 3),
+        "swapping_p99_ms": round(swapping_p99 * 1e3, 3),
+        "allowed_p99_ms": round(allowed * 1e3, 3),
+        "swaps_during_measurement": swaps,
+        "p99_budget": SWAP_P99_BUDGET,
+        "p99_floor_ms": SWAP_P99_FLOOR_S * 1e3,
+    }
+    print(f"hot-swap serving overhead ({requests} requests, "
+          f"{swaps} swaps underneath):")
+    print(f"  static p99:   {static_p99 * 1e3:7.3f} ms")
+    print(f"  swapping p99: {swapping_p99 * 1e3:7.3f} ms "
+          f"(allowed {allowed * 1e3:.3f} ms)")
+    if swapping_p99 > allowed:
+        failures.append(
+            f"p99 under swaps {swapping_p99 * 1e3:.3f}ms exceeds "
+            f"allowed {allowed * 1e3:.3f}ms")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="also write the measurements as JSON")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="ingest timing rounds per variant "
+                             "(best-of; default: %(default)s)")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="HTTP requests per latency measurement "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    report: dict = {"seed": SEED, "dictionary_mode": "seed"}
+    failures: list[str] = []
+
+    _measure_delta_speedup(report, failures, args.rounds)
+    _measure_swap_overhead(report, failures, args.requests)
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nreport written to {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: ingest + hot-swap budgets met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,12 +57,23 @@ from .pipeline import (
     CrashPoint,
     FailureDatabase,
     FailurePolicy,
+    IngestReport,
+    IngestResult,
     PipelineConfig,
     PipelineResult,
+    ServingChaos,
+    ingest_corpus,
     process_corpus,
     run_pipeline,
 )
-from .query import Query, QueryEngine, QueryResult, QueryServer
+from .query import (
+    Query,
+    QueryEngine,
+    QueryResult,
+    QueryServer,
+    Snapshot,
+    SnapshotManager,
+)
 from .synth import SyntheticCorpus, generate_corpus
 
 __all__ = [
@@ -70,9 +81,13 @@ __all__ = [
     "ChaosConfig",
     "CrashPoint",
     "FailurePolicy",
+    "IngestReport",
+    "IngestResult",
     "PipelineConfig",
     "PipelineResult",
+    "ServingChaos",
     "build_corpus",
+    "ingest_corpus",
     "process_corpus",
     "run_pipeline",
     "SyntheticCorpus",
@@ -84,6 +99,8 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "QueryServer",
+    "Snapshot",
+    "SnapshotManager",
     # Observability.
     "MetricsRegistry",
     "Observability",

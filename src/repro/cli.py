@@ -5,6 +5,7 @@ Commands::
     run        synthesize + process end to end, write the database JSON
     corpus     write the raw synthetic corpus to a directory
     process    run Stages II-IV over a corpus directory
+    ingest     incrementally process a grown corpus (delta only)
     report     render paper tables/figures from a database JSON
     tag        tag free-text log lines with the failure dictionary
     stpa       overlay the tagged failures on the control structure
@@ -34,7 +35,7 @@ import sys
 from pathlib import Path
 
 from . import __version__
-from .errors import CorruptDatabaseError
+from .errors import CorruptDatabaseError, SynthesisError
 from .pipeline import (
     ChaosConfig,
     CrashController,
@@ -303,6 +304,40 @@ def _cmd_process(args: argparse.Namespace) -> int:
     return _finish_run(result, args)
 
 
+def _print_ingest_summary(report) -> None:
+    mode = ("full rebuild" if report.full_rebuild else "incremental")
+    detail = f" ({report.reason})" if report.reason else ""
+    print(f"ingest:         {mode}{detail}")
+    print(f"documents:      {report.total_documents} total / "
+          f"{report.new_documents} new / "
+          f"{report.changed_documents} changed / "
+          f"{report.reused_documents} reused")
+    for note in report.notes:
+        print(f"  note: {note}")
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .pipeline.ingest import ingest_corpus
+    from .synth.io import read_corpus
+
+    corpus = read_corpus(args.corpus, with_truth=not args.no_truth)
+    ingest = ingest_corpus(corpus, _config_from(args))
+    report = ingest.report
+    if args.json:
+        if args.out:
+            _save_database(ingest.result, args.out, quiet=True)
+        payload = _run_payload(ingest.result, args.out)
+        payload["ingest"] = report.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not args.quiet:
+        _print_ingest_summary(report)
+        _print_run_summary(ingest.result)
+    if args.out:
+        _save_database(ingest.result, args.out, quiet=args.quiet)
+    return 0
+
+
 def _load_db(args: argparse.Namespace) -> FailureDatabase:
     if args.db:
         # api.load_database translates a missing file into the same
@@ -539,11 +574,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine_db = _load_db(args)
     server = QueryServer(engine_db, host=args.host, port=args.port,
                          cache_size=args.cache_size,
-                         verbose=not args.quiet)
+                         verbose=not args.quiet,
+                         max_inflight=args.max_inflight,
+                         deadline_s=args.deadline)
+    if args.watch:
+        server.watch(args.watch, args.watch_interval)
     if not args.quiet:
+        watching = (f", watching {args.watch} for drops"
+                    if args.watch else "")
         print(f"serving {len(engine_db.disengagements)} "
               f"disengagements / {len(engine_db.accidents)} accidents "
-              f"on {server.url} (Ctrl-C to stop; metrics on /metrics)")
+              f"on {server.url}{watching} "
+              "(Ctrl-C to stop; metrics on /metrics)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -624,6 +666,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ignore the ground-truth sidecar")
     process.add_argument("--out", help="write the database JSON here")
     process.set_defaults(handler=_cmd_process)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="incrementally process a grown corpus directory "
+             "(recompute only new/changed documents; output is "
+             "byte-identical to a full rebuild)",
+        parents=[out])
+    _add_pipeline_options(ingest)
+    ingest.add_argument("--corpus", required=True,
+                        help="directory written by 'repro corpus' "
+                             "(the combined corpus, not just the "
+                             "delta)")
+    ingest.add_argument("--no-truth", action="store_true",
+                        help="ignore the ground-truth sidecar")
+    ingest.add_argument("--out", help="write the database JSON here")
+    ingest.set_defaults(handler=_cmd_ingest)
 
     report = commands.add_parser(
         "report", help="render paper tables/figures",
@@ -712,6 +770,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=256,
                        help="bounded LRU result-cache capacity "
                             "(default: %(default)s)")
+    serve.add_argument("--watch", default=None, metavar="DIR",
+                       help="poll this directory for database JSON "
+                            "drops and hot-swap each one in (corrupt "
+                            "drops are quarantined; the last good "
+                            "snapshot keeps serving)")
+    serve.add_argument("--watch-interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="poll interval for --watch "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="admission control: bound on concurrently "
+                            "handled requests; excess load is shed "
+                            "with 503 + Retry-After (0 = unbounded; "
+                            "default: %(default)s)")
+    serve.add_argument("--deadline", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="per-request budget; a blown deadline "
+                            "returns a structured 503 (0 = none; "
+                            "default: %(default)s)")
     serve.set_defaults(handler=_cmd_serve)
 
     trace = commands.add_parser(
@@ -739,7 +816,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, CorruptDatabaseError) as exc:
+    except (ValueError, CorruptDatabaseError, SynthesisError) as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 2
 

@@ -58,6 +58,18 @@ QUERY_CACHE_EVICTIONS = "repro_query_cache_evictions"
 QUERY_CACHE_SIZE = "repro_query_cache_size"
 #: Server (sampled at scrape time from the database index).
 INDEX_RECORDS = "repro_index_records"
+#: Serving: snapshot swaps by outcome (``ok`` / ``quarantined``).
+SNAPSHOT_SWAPS = "repro_snapshot_swaps_total"
+#: Serving: generation of the currently served snapshot.
+SNAPSHOT_GENERATION = "repro_snapshot_generation"
+#: Serving: candidate databases quarantined as corrupt.
+SNAPSHOT_QUARANTINED = "repro_snapshot_quarantined_total"
+#: Serving: requests shed by admission control (503 + Retry-After).
+REQUESTS_SHED = "repro_requests_shed_total"
+#: Serving: requests that blew their per-request deadline.
+REQUEST_TIMEOUTS = "repro_request_timeouts_total"
+#: Serving: requests currently being handled (admission gauge).
+REQUESTS_INFLIGHT = "repro_requests_inflight"
 
 #: Fixed latency bucket upper bounds in seconds (+Inf is implicit).
 DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,

@@ -14,11 +14,13 @@ simulated hard crashes — to prove both.
 
 from .chaos import (
     CRASH_POINTS,
+    SWAP_POINTS,
     ChaosConfig,
     ChaosError,
     ChaosInjector,
     CrashController,
     CrashPoint,
+    ServingChaos,
     SimulatedCrash,
 )
 from .checkpoint import (
@@ -27,6 +29,12 @@ from .checkpoint import (
     config_fingerprint,
 )
 from .config import PipelineConfig
+from .ingest import (
+    IngestReport,
+    IngestResult,
+    document_digest,
+    ingest_corpus,
+)
 from .parallel import (
     PROCESS_POOL_MIN_WORKERS,
     WORKER_MODES,
@@ -56,6 +64,8 @@ __all__ = [
     "CrashController",
     "CrashPoint",
     "FailurePolicy",
+    "IngestReport",
+    "IngestResult",
     "PROCESS_POOL_MIN_WORKERS",
     "ParallelExecutor",
     "ParallelStats",
@@ -67,10 +77,14 @@ __all__ = [
     "Quarantine",
     "QuarantineEntry",
     "RunHealth",
+    "SWAP_POINTS",
+    "ServingChaos",
     "SimulatedCrash",
     "StageGuard",
     "atomic_write_text",
     "config_fingerprint",
+    "document_digest",
+    "ingest_corpus",
     "retry_with_backoff",
     "run_pipeline",
     "process_corpus",

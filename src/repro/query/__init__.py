@@ -43,10 +43,12 @@ from .engine import (
 )
 from .index import DatabaseIndex, accident_id, disengagement_id
 from .server import QueryServer, serve
+from .snapshot import DirectoryWatcher, Snapshot, SnapshotManager
 
 __all__ = [
     "CacheStats",
     "DatabaseIndex",
+    "DirectoryWatcher",
     "GROUP_BYS",
     "LruCache",
     "METRICS",
@@ -54,6 +56,8 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "QueryServer",
+    "Snapshot",
+    "SnapshotManager",
     "accident_id",
     "disengagement_id",
     "serve",

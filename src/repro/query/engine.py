@@ -19,8 +19,12 @@ keyed by ``(database fingerprint, canonical query)``.
 Thread safety: the engine is safe for concurrent :meth:`~QueryEngine.
 execute` calls — the index is immutable, the scope databases are
 per-call, and the cache locks internally.  :meth:`~QueryEngine.
-refresh` (after mutating the underlying database in place) is the one
-writer and must not race concurrent readers.
+refresh` may run concurrently with readers: each request captures the
+index reference exactly once and keys the cache off that snapshot's
+fingerprint, so a swap mid-request can never blend snapshots or serve
+a stale cached result to a post-swap request.  Only refresh-vs-refresh
+needs external serialization (:class:`~repro.query.snapshot.
+SnapshotManager` provides it).
 """
 
 from __future__ import annotations
@@ -316,22 +320,38 @@ class QueryEngine:
     def refresh(self) -> bool:
         """Re-fingerprint the database; rebuild on content change.
 
-        Returns whether anything changed.  Not safe against
-        *concurrent* execute() calls — quiesce readers first.
+        Returns whether anything changed.  Safe against concurrent
+        :meth:`execute` calls: the new index is built completely
+        before the reference is swapped (one atomic assignment), and
+        every request operates on the single index reference it
+        captured on entry — a reader admitted before the swap answers
+        wholly from the old snapshot, one admitted after answers
+        wholly from the new one, and cache keys carry the snapshot
+        fingerprint so neither can ever serve the other's results.
+        Concurrent *writers* (two refreshes racing) are the caller's
+        problem — use :class:`~repro.query.snapshot.SnapshotManager`
+        for the full swap lifecycle.
         """
         fingerprint = self._db.fingerprint()
         if fingerprint == self._index.fingerprint:
             return False
-        self._index = DatabaseIndex.build(
-            self._db, fingerprint=fingerprint)
+        index = DatabaseIndex.build(self._db, fingerprint=fingerprint)
+        self._index = index  # the swap: one atomic reference store
+        # Memory release only: old-fingerprint keys are unreachable
+        # for any request admitted after the swap regardless (their
+        # cache key carries the old fingerprint).  A straggler request
+        # that captured the old index may still re-insert an
+        # old-fingerprint entry after this clear; it is equally
+        # unreachable and ages out of the LRU.
         self._cache.clear()
         return True
 
     def stats(self) -> dict[str, Any]:
         """JSON-able engine statistics (the ``/stats`` body)."""
+        index = self._index
         return {
-            "fingerprint": self.fingerprint,
-            "index": self._index.summary(),
+            "fingerprint": index.fingerprint,
+            "index": index.summary(),
             "cache": self._cache.stats().to_dict(),
         }
 
@@ -340,49 +360,61 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def execute(self, query: Query | Mapping[str, Any]) -> QueryResult:
-        """Execute (or serve from cache) one query."""
+        """Execute (or serve from cache) one query.
+
+        The index reference is captured **once** per request and used
+        for the cache key, the computation, and the result
+        provenance, so a concurrent :meth:`refresh`/snapshot swap can
+        never produce a blended answer: everything in one
+        :class:`QueryResult` comes from exactly one snapshot.
+        """
         if not isinstance(query, Query):
             query = Query.from_dict(query)
         started = time.perf_counter()
-        key = (self.fingerprint, query.canonical())
+        index = self._index  # single snapshot reference per request
+        key = (index.fingerprint, query.canonical())
         value = self._cache.get(key, _MISS)
         cached = value is not _MISS
         if not cached:
-            value = self._compute(query)
+            value = self._compute(query, index)
             self._cache.put(key, value)
         return QueryResult(
             query=query,
-            fingerprint=self.fingerprint,
+            fingerprint=index.fingerprint,
             cached=cached,
             elapsed_ms=(time.perf_counter() - started) * 1e3,
             value=value,
         )
 
-    def _compute(self, query: Query) -> Any:
+    def _compute(self, query: Query, index: DatabaseIndex) -> Any:
         if query.metric == "count":
-            return self._count(query)
+            return self._count(query, index)
         if query.metric == "miles":
-            return self._miles(query)
+            return self._miles(query, index)
         kernel = KERNELS[(query.metric, query.group_by)]
-        return to_jsonable(kernel(self.scope(query)))
+        return to_jsonable(kernel(self.scope(query, index)))
 
     # ------------------------------------------------------------------
     # Filtering.
     # ------------------------------------------------------------------
 
-    def scope(self, query: Query) -> FailureDatabase:
+    def scope(self, query: Query,
+              index: DatabaseIndex | None = None) -> FailureDatabase:
         """The database slice a query runs over.
 
-        Unfiltered queries get the original database object;
+        Unfiltered queries get the snapshot's database object;
         filtered ones get a sub-database assembled from the index
         (records ordered by manufacturer, original order within one
         manufacturer).  This is the *definition* of a filtered
         answer: the direct-analysis parity comparison runs the
-        analysis function over this same slice.
+        analysis function over this same slice.  ``index`` pins the
+        snapshot (requests pass the reference they captured on
+        entry); when omitted, the current one is used.
         """
+        if index is None:
+            index = self._index
         if not query.filtered:
-            return self._db
-        index = self._index
+            return index.database
         names = (query.manufacturers if query.manufacturers is not None
                  else index.manufacturers)
 
@@ -424,8 +456,7 @@ class QueryEngine:
     # Index-served metrics (no analysis kernel needed).
     # ------------------------------------------------------------------
 
-    def _count(self, query: Query) -> Any:
-        index = self._index
+    def _count(self, query: Query, index: DatabaseIndex) -> Any:
         if not query.filtered:
             # O(1)/O(groups): straight off the prebuilt index.
             if query.group_by is None:
@@ -447,10 +478,9 @@ class QueryEngine:
             return {category.value:
                     len(index.disengagements_in_category(category))
                     for category in index.categories}
-        return _count_scoped(self.scope(query), query.group_by)
+        return _count_scoped(self.scope(query, index), query.group_by)
 
-    def _miles(self, query: Query) -> Any:
-        index = self._index
+    def _miles(self, query: Query, index: DatabaseIndex) -> Any:
         if not query.filtered:
             if query.group_by is None:
                 return sum(index.miles_for(name)
@@ -463,7 +493,7 @@ class QueryEngine:
                 for month, miles in index.monthly_miles(name).items():
                     totals[month] = totals.get(month, 0.0) + miles
             return dict(sorted(totals.items()))
-        scope = self.scope(query)
+        scope = self.scope(query, index)
         if query.group_by is None:
             return scope.total_miles
         if query.group_by == "manufacturer":

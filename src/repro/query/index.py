@@ -67,6 +67,12 @@ class DatabaseIndex:
     fingerprint: str
     manufacturers: tuple[str, ...]
     months: tuple[str, ...]
+    #: The database snapshot itself.  Kept on the index so a request
+    #: that captured one index reference sees *matching* raw record
+    #: lists (unfiltered query scopes) — it can never blend an old
+    #: index with a newer database, whatever refresh/swap does
+    #: concurrently.
+    database: FailureDatabase = field(repr=False)
 
     _disengagements_by_manufacturer: Mapping[
         str, tuple[DisengagementRecord, ...]] = field(repr=False)
@@ -150,6 +156,7 @@ class DatabaseIndex:
                          else db.fingerprint()),
             manufacturers=tuple(db.manufacturers()),
             months=tuple(sorted(months)),
+            database=db,
             _disengagements_by_manufacturer=_frozen(by_manufacturer),
             _accidents_by_manufacturer=_frozen(
                 accidents_by_manufacturer),

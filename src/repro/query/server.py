@@ -1,10 +1,13 @@
 """Embedded JSON HTTP API over a query engine — stdlib only.
 
 A :class:`~http.server.ThreadingHTTPServer` front end for
-:class:`~repro.query.engine.QueryEngine`.  Endpoints:
+:class:`~repro.query.engine.QueryEngine`, hardened for always-on
+serving.  Endpoints:
 
 =========================  ==========================================
 ``GET /healthz``           liveness: status, version, db fingerprint
+``GET /readyz``            readiness: snapshot generation + degraded
+                           state (distinct from liveness — see below)
 ``GET /stats``             engine statistics (index + cache counters)
 ``GET /manufacturers``     manufacturers present in the database
 ``GET /metrics/dpm``       per-manufacturer DPM summaries
@@ -20,19 +23,31 @@ same fields as a JSON object.  The ``/metrics/*`` shortcuts accept
 the filter parameters too.
 
 Every response is JSON except ``GET /metrics``, which serves the
-process metrics registry in the Prometheus text exposition format —
-request counts/latency by route, the query-result LRU and database
-index sampled at scrape time, and (when the pipeline ran in this
-process with ``metrics_enabled``) the pipeline series too.  Errors
-are structured:  400 carries ``{"error": ...}`` for an invalid
-query, 404 for an unknown path, 422 when the database is too thin
-for the requested statistic
-(:class:`~repro.errors.InsufficientDataError`).
+process metrics registry in the Prometheus text exposition format.
+Errors are structured: 400 carries ``{"error": ...}`` for an invalid
+query, 404 for an unknown path, 422 when the database is too thin for
+the requested statistic, and any unexpected handler failure is a
+**sanitized** 500 — ``{"error": "internal server error"}``, never a
+traceback or internal detail on the wire.
 
-Concurrency: requests are served on one thread each; the engine's
-index is immutable, its cache locks internally, and the metrics
-registry locks per metric, so concurrent reads need no further
-coordination.
+**Liveness vs readiness.**  ``/healthz`` answers "is the process up"
+and is always 200 while the server runs.  ``/readyz`` answers "should
+you send traffic": 200 ``ok`` normally, 200 ``degraded`` when the
+last snapshot-swap candidate was quarantined (we still serve, from
+the last-good generation), 503 ``draining`` during graceful shutdown.
+
+**Admission control.**  At most ``max_inflight`` requests are handled
+concurrently; excess load is shed with a structured
+``503 + Retry-After`` instead of queueing without bound.  Each
+admitted request gets a ``deadline_s`` budget; blowing it returns a
+structured 503 naming the deadline.  ``/healthz``, ``/readyz``, and
+the ``/metrics`` exposition are exempt — health probes and scrapes
+must work precisely when the server is saturated.
+
+**Consistency.**  Each request captures the live
+:class:`~repro.query.snapshot.Snapshot` exactly once and answers
+entirely from it, so a hot-swap mid-request can never blend
+generations in one response.
 """
 
 from __future__ import annotations
@@ -41,11 +56,12 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
-from ..errors import InsufficientDataError, QueryError, ReproError
+from ..errors import InsufficientDataError, QueryError
 from ..obs.metrics import (
     HTTP_LATENCY,
     HTTP_REQUESTS,
@@ -54,11 +70,16 @@ from ..obs.metrics import (
     QUERY_CACHE_HITS,
     QUERY_CACHE_MISSES,
     QUERY_CACHE_SIZE,
+    REQUEST_TIMEOUTS,
+    REQUESTS_INFLIGHT,
+    REQUESTS_SHED,
     MetricsRegistry,
     default_registry,
 )
+from ..pipeline.chaos import ServingChaos
 from ..pipeline.store import FailureDatabase
 from .engine import Query, QueryEngine
+from .snapshot import DirectoryWatcher, Snapshot, SnapshotManager
 
 #: Metric families reachable as ``/metrics/<name>`` shortcuts.
 METRIC_SHORTCUTS = ("dpm", "apm", "dpa")
@@ -66,8 +87,16 @@ METRIC_SHORTCUTS = ("dpm", "apm", "dpa")
 #: Routes the request metrics label individually; anything else is
 #: folded into ``<unknown>`` so scanners can't explode cardinality.
 _KNOWN_ROUTES = frozenset(
-    {"/", "/healthz", "/stats", "/manufacturers", "/query",
+    {"/", "/healthz", "/readyz", "/stats", "/manufacturers", "/query",
      "/metrics"} | {f"/metrics/{name}" for name in METRIC_SHORTCUTS})
+
+#: Routes exempt from admission control and deadlines: probes and
+#: scrapes must answer precisely when the server is saturated or
+#: draining.
+_EXEMPT_ROUTES = frozenset({"/healthz", "/readyz", "/metrics"})
+
+#: ``Retry-After`` seconds suggested on shed/drain 503s.
+RETRY_AFTER_S = 1
 
 
 def _query_from_params(params: Mapping[str, list[str]]) -> Query:
@@ -96,31 +125,125 @@ def _query_from_params(params: Mapping[str, list[str]]) -> Query:
     return Query.from_dict(data)
 
 
+class _QueryHTTPServer(ThreadingHTTPServer):
+    """The HTTP server plus serving state the handler reads.
+
+    Owns admission accounting (in-flight count, drain flag) — the
+    handler calls :meth:`try_admit`/:meth:`release` around every
+    non-exempt request.
+    """
+
+    daemon_threads = True
+
+    # Set by QueryServer right after construction.
+    snapshots: SnapshotManager
+    metrics: MetricsRegistry
+    verbose: bool = False
+    max_inflight: int = 0
+    deadline_s: float = 0.0
+    chaos: ServingChaos | None = None
+    http_requests = None
+    http_latency = None
+    shed_total = None
+    timeout_total = None
+    inflight_gauge = None
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._admission = threading.Condition()
+        self._inflight = 0
+        self._draining = False
+
+    # -- admission -----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether graceful shutdown has begun."""
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted."""
+        return self._inflight
+
+    def try_admit(self) -> str | None:
+        """Admit one request; returns the rejection reason instead
+        when draining or saturated (never blocks)."""
+        with self._admission:
+            if self._draining:
+                return "draining"
+            if (self.max_inflight
+                    and self._inflight >= self.max_inflight):
+                return "overloaded"
+            self._inflight += 1
+            inflight = self._inflight
+        if self.inflight_gauge is not None:
+            self.inflight_gauge.set(inflight)
+        return None
+
+    def release(self) -> None:
+        """Release one admitted request (wakes the drain waiter)."""
+        with self._admission:
+            self._inflight -= 1
+            inflight = self._inflight
+            if inflight == 0:
+                self._admission.notify_all()
+        if self.inflight_gauge is not None:
+            self.inflight_gauge.set(inflight)
+
+    def begin_drain(self) -> None:
+        """Stop admitting new work (existing requests finish)."""
+        with self._admission:
+            self._draining = True
+
+    def wait_drained(self, timeout: float) -> bool:
+        """Block until in-flight hits zero (or ``timeout`` passes)."""
+        deadline = time.monotonic() + timeout
+        with self._admission:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._admission.wait(remaining)
+        return True
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Routes one request; the engine lives on the server object."""
+    """Routes one request; serving state lives on the server object."""
 
     server_version = f"repro-query/{__version__}"
     protocol_version = "HTTP/1.1"
+    server: _QueryHTTPServer
 
     # -- plumbing ------------------------------------------------------
 
     @property
+    def snapshot(self) -> Snapshot:
+        """The snapshot captured when this request started — the only
+        generation anything in the response may come from."""
+        return self._snapshot
+
+    @property
     def engine(self) -> QueryEngine:
-        return self.server.engine  # type: ignore[attr-defined]
+        return self._snapshot.engine
 
     def log_message(self, format: str, *args: Any) -> None:
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(self, status: int, payload: Any,
+                   headers: Mapping[str, str] | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._send_body(status, "application/json", body)
+        self._send_body(status, "application/json", body,
+                        headers=headers)
 
-    def _send_body(self, status: int, content_type: str,
-                   body: bytes) -> None:
+    def _send_body(self, status: int, content_type: str, body: bytes,
+                   headers: Mapping[str, str] | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self._observe(status)
@@ -138,67 +261,164 @@ class _Handler(BaseHTTPRequestHandler):
             server.http_latency.labels(route).observe(
                 time.perf_counter() - started)
 
+    # -- request lifecycle ---------------------------------------------
+
+    def _begin(self, path: str) -> str:
+        """Per-request state reset (handlers are reused across
+        keep-alive requests on one connection)."""
+        self._started = time.perf_counter()
+        self._snapshot = self.server.snapshots.current()
+        self._admitted = False
+        route = urlsplit(path).path.rstrip("/") or "/"
+        self._route = (route if route in _KNOWN_ROUTES
+                       else "<unknown>")
+        return route
+
+    def _admit(self, route: str) -> bool:
+        """Admission control for non-exempt routes.
+
+        Returns whether the request may proceed; a shed request has
+        already been answered with a structured ``503 + Retry-After``.
+        """
+        if route in _EXEMPT_ROUTES:
+            return True
+        reason = self.server.try_admit()
+        if reason is None:
+            self._admitted = True
+            return True
+        if (reason == "overloaded"
+                and self.server.shed_total is not None):
+            self.server.shed_total.inc()
+        self._send_json(
+            503,
+            {"error": f"server is {reason}; retry later",
+             "reason": reason, "retry_after_s": RETRY_AFTER_S},
+            headers={"Retry-After": str(RETRY_AFTER_S)})
+        return False
+
+    def _finish(self) -> None:
+        if self._admitted:
+            self._admitted = False
+            self.server.release()
+
+    def _deadline_exceeded(self) -> float | None:
+        """Elapsed seconds when the admitted request blew its budget
+        (``None`` otherwise — including for exempt requests)."""
+        deadline = self.server.deadline_s
+        if not self._admitted or deadline <= 0:
+            return None
+        elapsed = time.perf_counter() - self._started
+        return elapsed if elapsed > deadline else None
+
     def _dispatch(self, handler, *args) -> None:
+        chaos = self.server.chaos
+        if chaos is not None and self._admitted:
+            chaos.maybe_slow_query()
         try:
             status, payload = handler(*args)
         except QueryError as exc:
             status, payload = 400, {"error": str(exc)}
         except InsufficientDataError as exc:
             status, payload = 422, {"error": str(exc)}
-        except ReproError as exc:  # pragma: no cover - safety net
-            status, payload = 500, {"error": str(exc)}
+        except Exception as exc:
+            # Sanitized: whatever blew up, the wire sees no detail.
+            self.log_error("unhandled error on %s: %r",
+                           self._route, exc)
+            status, payload = 500, {"error": "internal server error"}
+        elapsed = self._deadline_exceeded()
+        if elapsed is not None:
+            if self.server.timeout_total is not None:
+                self.server.timeout_total.inc()
+            self._send_json(
+                503,
+                {"error": f"deadline exceeded: request took "
+                          f"{elapsed:.3f}s against a "
+                          f"{self.server.deadline_s:.3f}s budget",
+                 "reason": "deadline",
+                 "retry_after_s": RETRY_AFTER_S},
+                headers={"Retry-After": str(RETRY_AFTER_S)})
+            return
         self._send_json(status, payload)
 
     # -- routing -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        self._started = time.perf_counter()
-        url = urlsplit(self.path)
-        params = parse_qs(url.query)
-        route = url.path.rstrip("/") or "/"
-        self._route = (route if route in _KNOWN_ROUTES
-                       else "<unknown>")
-        if route == "/healthz":
-            self._dispatch(self._healthz)
-        elif route == "/stats":
-            self._dispatch(self._stats)
-        elif route == "/manufacturers":
-            self._dispatch(self._manufacturers)
-        elif route == "/query":
-            self._dispatch(self._query_get, params)
-        elif route == "/metrics":
-            self._metrics_exposition()
-        elif route.startswith("/metrics/"):
-            self._dispatch(self._metric, route[len("/metrics/"):],
-                           params)
-        else:
-            self._send_json(404, {"error": f"unknown path "
-                                           f"{url.path!r}"})
+        route = self._begin(self.path)
+        if not self._admit(route):
+            return
+        try:
+            params = parse_qs(urlsplit(self.path).query)
+            if route == "/healthz":
+                self._dispatch(self._healthz)
+            elif route == "/readyz":
+                self._dispatch(self._readyz)
+            elif route == "/stats":
+                self._dispatch(self._stats)
+            elif route == "/manufacturers":
+                self._dispatch(self._manufacturers)
+            elif route == "/query":
+                self._dispatch(self._query_get, params)
+            elif route == "/metrics":
+                self._metrics_exposition()
+            elif route.startswith("/metrics/"):
+                self._dispatch(self._metric,
+                               route[len("/metrics/"):], params)
+            else:
+                self._send_json(404, {"error": f"unknown path "
+                                               f"{self.path!r}"})
+        finally:
+            self._finish()
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        self._started = time.perf_counter()
-        route = urlsplit(self.path).path.rstrip("/")
-        self._route = route if route == "/query" else "<unknown>"
+        route = self._begin(self.path)
         if route != "/query":
             self._send_json(404, {"error": f"unknown path "
                                            f"{self.path!r}"})
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            data = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": f"request body is not "
-                                           f"valid JSON: {exc}"})
+        if not self._admit(route):
             return
-        self._dispatch(self._query_post, data)
+        try:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                data = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send_json(400, {"error": f"request body is not "
+                                               f"valid JSON: {exc}"})
+                return
+            self._dispatch(self._query_post, data)
+        finally:
+            self._finish()
 
     # -- endpoints -----------------------------------------------------
 
     def _healthz(self) -> tuple[int, Any]:
+        """Liveness: the process is up (always 200 while serving)."""
         return 200, {
             "status": "ok",
             "version": __version__,
             "fingerprint": self.engine.fingerprint,
+        }
+
+    def _readyz(self) -> tuple[int, Any]:
+        """Readiness: should a load balancer send traffic here.
+
+        Reads the *manager*, not the request's captured snapshot —
+        readiness describes what the next request would get.
+        """
+        manager = self.server.snapshots
+        stats = manager.stats()
+        if self.server.draining:
+            status, state = 503, "draining"
+        elif stats["degraded"]:
+            status, state = 200, "degraded"
+        else:
+            status, state = 200, "ok"
+        return status, {
+            "status": state,
+            "generation": stats["snapshot"]["generation"],
+            "fingerprint": stats["snapshot"]["fingerprint"],
+            "quarantined": stats["quarantined"],
+            "last_error": stats["last_error"],
         }
 
     def _stats(self) -> tuple[int, Any]:
@@ -267,33 +487,66 @@ class QueryServer:
 
         with QueryServer(db, port=0) as server:
             urllib.request.urlopen(server.url + "/healthz")
+
+    Accepts a raw :class:`~repro.pipeline.store.FailureDatabase`, a
+    prebuilt :class:`~repro.query.engine.QueryEngine`, or a
+    :class:`~repro.query.snapshot.SnapshotManager` (the always-on
+    mode: swap snapshots underneath while serving).  ``max_inflight``
+    bounds concurrent admitted requests (0 = unbounded);
+    ``deadline_s`` is the per-request budget (0 = none);
+    ``drain_timeout_s`` caps how long :meth:`shutdown` waits for
+    in-flight requests before closing anyway.
     """
 
-    def __init__(self, db: FailureDatabase | QueryEngine,
+    def __init__(self, db: FailureDatabase | QueryEngine
+                 | SnapshotManager,
                  host: str = "127.0.0.1", port: int = 8350, *,
                  cache_size: int = 256,
                  verbose: bool = False,
-                 registry: MetricsRegistry | None = None) -> None:
-        self.engine = (db if isinstance(db, QueryEngine)
-                       else QueryEngine(db, cache_size=cache_size))
+                 registry: MetricsRegistry | None = None,
+                 max_inflight: int = 64,
+                 deadline_s: float = 10.0,
+                 drain_timeout_s: float = 5.0,
+                 chaos: ServingChaos | None = None) -> None:
         # The process-global registry by default, so a pipeline run in
         # this process shows up on the same /metrics scrape.
         self.registry = registry or default_registry()
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.engine = self.engine  # type: ignore[attr-defined]
-        self._httpd.verbose = verbose  # type: ignore[attr-defined]
-        self._httpd.metrics = (  # type: ignore[attr-defined]
-            self.registry)
-        self._httpd.http_requests = (  # type: ignore[attr-defined]
-            self.registry.counter(
-                HTTP_REQUESTS, "HTTP requests by route and status",
-                ("route", "status")))
-        self._httpd.http_latency = (  # type: ignore[attr-defined]
-            self.registry.histogram(
-                HTTP_LATENCY, "HTTP request latency by route",
-                ("route",)))
-        self._httpd.daemon_threads = True
+        if isinstance(db, SnapshotManager):
+            self.snapshots = db
+        else:
+            self.snapshots = SnapshotManager(
+                db, cache_size=cache_size, registry=self.registry,
+                chaos=chaos)
+        self.drain_timeout_s = drain_timeout_s
+        httpd = _QueryHTTPServer((host, port), _Handler)
+        httpd.snapshots = self.snapshots
+        httpd.verbose = verbose
+        httpd.metrics = self.registry
+        httpd.max_inflight = max_inflight
+        httpd.deadline_s = deadline_s
+        httpd.chaos = chaos
+        httpd.http_requests = self.registry.counter(
+            HTTP_REQUESTS, "HTTP requests by route and status",
+            ("route", "status"))
+        httpd.http_latency = self.registry.histogram(
+            HTTP_LATENCY, "HTTP request latency by route", ("route",))
+        httpd.shed_total = self.registry.counter(
+            REQUESTS_SHED,
+            "Requests shed by admission control (503 + Retry-After)")
+        httpd.timeout_total = self.registry.counter(
+            REQUEST_TIMEOUTS,
+            "Requests that blew their per-request deadline")
+        httpd.inflight_gauge = self.registry.gauge(
+            REQUESTS_INFLIGHT, "Requests currently being handled")
+        self._httpd = httpd
         self._thread: threading.Thread | None = None
+        self._watch_thread: threading.Thread | None = None
+        self._watch_stop = threading.Event()
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The engine of the currently served snapshot."""
+        return self.snapshots.engine
 
     @property
     def host(self) -> str:
@@ -322,8 +575,43 @@ class QueryServer:
         self._thread.start()
         return self
 
+    def watch(self, directory: str | Path,
+              interval_s: float = 2.0) -> "QueryServer":
+        """Poll ``directory`` for database drops; hot-swap each one.
+
+        New or changed ``*.json`` files are loaded through the
+        snapshot manager — a corrupt drop is quarantined (``/readyz``
+        goes ``degraded``) and the last-good snapshot keeps serving.
+        """
+        watcher = DirectoryWatcher(directory)
+
+        def loop() -> None:
+            while not self._watch_stop.is_set():
+                for path in watcher.poll():
+                    try:
+                        self.snapshots.load(path)
+                    except OSError:
+                        continue  # vanished mid-read; next poll
+                self._watch_stop.wait(interval_s)
+
+        self._watch_thread = threading.Thread(
+            target=loop, name="repro-query-watch", daemon=True)
+        self._watch_thread.start()
+        return self
+
     def shutdown(self) -> None:
-        """Stop serving and release the socket."""
+        """Graceful stop: drain in-flight requests, then close.
+
+        New non-exempt requests are refused (503 ``draining``) the
+        moment this is called; existing ones get up to
+        ``drain_timeout_s`` to finish before the socket closes.
+        """
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=5.0)
+            self._watch_thread = None
+        self._httpd.begin_drain()
+        self._httpd.wait_drained(self.drain_timeout_s)
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -339,11 +627,18 @@ class QueryServer:
 
 def serve(db: FailureDatabase, host: str = "127.0.0.1",
           port: int = 8350, *, cache_size: int = 256,
-          verbose: bool = True) -> None:
+          verbose: bool = True, max_inflight: int = 64,
+          deadline_s: float = 10.0,
+          watch: str | Path | None = None,
+          watch_interval_s: float = 2.0) -> None:
     """Blocking convenience entry point (the ``repro serve`` verb)."""
     server = QueryServer(db, host, port, cache_size=cache_size,
-                         verbose=verbose)
+                         verbose=verbose, max_inflight=max_inflight,
+                         deadline_s=deadline_s)
+    if watch is not None:
+        server.watch(watch, watch_interval_s)
     try:
         server.serve_forever()
     finally:
+        server._watch_stop.set()
         server._httpd.server_close()
