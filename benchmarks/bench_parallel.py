@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import time
 from pathlib import Path
 
@@ -42,6 +43,7 @@ from repro.pipeline import (
     process_corpus,
 )
 from repro.pipeline import runner
+from repro.pipeline.parallel import UnitOutcome
 from repro.pipeline.stages import OcrStage, PipelineDiagnostics
 from repro.synth import generate_corpus
 
@@ -272,6 +274,46 @@ def main(argv=None) -> int:
         failures.append(
             f"index speedup {index_speedup:.1f}x under the "
             f"{INDEX_SPEEDUP_BUDGET:.0f}x budget")
+
+    # -- worker payload size: slots/tuple pickle vs dict baseline -----
+    # One Stage III outcome crosses the pool pipe per tagged record.
+    # Compare the shipped encoding (__slots__ dataclass with a 7-tuple
+    # __getstate__, (stages, events) health pair) against what the
+    # same outcomes cost as plain keyed dicts — the pre-compaction
+    # wire shape.
+    outcomes = [
+        UnitOutcome(
+            body={"tag": r.tag.value, "category": r.category.value},
+            health=({"tag": (1, 0, 0, 0, 0)}, []),
+            elapsed=0.001)
+        for r in serial_result.database.disengagements]
+    legacy = [
+        {"body": o.body,
+         "health": {"stages": {k: list(v)
+                               for k, v in o.health[0].items()},
+                    "events": list(o.health[1])},
+         "error": o.error, "ocr": o.ocr, "elapsed": o.elapsed,
+         "injected": o.injected, "metrics": o.metrics}
+        for o in outcomes]
+    compact_bytes = sum(len(pickle.dumps(o)) for o in outcomes)
+    legacy_bytes = sum(len(pickle.dumps(o)) for o in legacy)
+    payload_delta = 1.0 - compact_bytes / legacy_bytes
+    report["worker_payload"] = {
+        "units": len(outcomes),
+        "compact_bytes_per_unit": round(compact_bytes / len(outcomes), 1),
+        "dict_bytes_per_unit": round(legacy_bytes / len(outcomes), 1),
+        "size_reduction": round(payload_delta, 4),
+    }
+    print(f"\nworker payload ({len(outcomes):,} Stage III outcomes):")
+    print(f"  tuple-state:    {compact_bytes / len(outcomes):8.1f} "
+          "bytes/unit")
+    print(f"  dict baseline:  {legacy_bytes / len(outcomes):8.1f} "
+          "bytes/unit")
+    print(f"  reduction:      {payload_delta:8.1%}")
+    if compact_bytes >= legacy_bytes:
+        failures.append(
+            "compact worker payload is not smaller than the dict "
+            "baseline")
 
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

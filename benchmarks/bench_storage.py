@@ -1,0 +1,222 @@
+"""Columnar storage benchmarks: build, scan, memory vs the dict layout.
+
+Budgets:
+
+1. **Column-scan speedup** — the vectorized scan hooks of
+   :class:`~repro.storage.ColumnarFailureDatabase` (packed arrays +
+   interned pools) must beat the record-object scans of the dict
+   backend by >= 2x, aggregated across the hook suite.  Every timed
+   pair is also asserted equal, so the speedup can never be bought
+   with drift.
+2. **Resident memory** — decoding the binary columnar artifact must
+   allocate less than materializing the record-object lists from the
+   canonical JSON (tracemalloc peak), and the on-disk blob must be
+   smaller than the JSON.
+
+Run as a script (``python benchmarks/bench_storage.py``); ``--out``
+writes the measurements as JSON (``BENCH_storage.json`` is a committed
+snapshot of that report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.pipeline import PipelineConfig, process_corpus
+from repro.pipeline.store import FailureDatabase
+from repro.storage import (
+    ColumnarFailureDatabase,
+    decode_columnar,
+    encode_columnar,
+)
+from repro.synth import generate_corpus
+
+SEED = 2018
+SUBSET = ["Nissan", "Volkswagen", "Delphi", "Tesla"]
+
+#: Aggregate columnar-scan speedup across the hook suite.
+SCAN_SPEEDUP_BUDGET = 2.0
+
+
+def _build(corpus) -> FailureDatabase:
+    return process_corpus(
+        corpus, PipelineConfig(seed=SEED, manufacturers=SUBSET)).database
+
+
+def _scan_ops(db: FailureDatabase, manufacturers: list[str]):
+    """The hook suite, as (name, thunk) pairs over one database."""
+    return [
+        ("total_miles", lambda: db.total_miles),
+        ("miles_by_manufacturer", db.miles_by_manufacturer),
+        ("monthly_miles", lambda: [db.monthly_miles(m)
+                                   for m in manufacturers]),
+        ("monthly_disengagements",
+         lambda: [db.monthly_disengagements(m)
+                  for m in manufacturers]),
+        ("vehicle_miles", lambda: [db.vehicle_miles(m)
+                                   for m in manufacturers]),
+        ("vehicle_disengagements",
+         lambda: [db.vehicle_disengagements(m)
+                  for m in manufacturers]),
+        ("reaction_times", lambda: [db.reaction_times(m)
+                                    for m in manufacturers]),
+        ("vehicle_year_miles", lambda: [db.vehicle_year_miles(m)
+                                        for m in manufacturers]),
+        ("vehicle_year_disengagements",
+         lambda: [db.vehicle_year_disengagements(m)
+                  for m in manufacturers]),
+        ("tag_values", lambda: [db.tag_values(m)
+                                for m in manufacturers]),
+        ("modality_values", lambda: [db.modality_values(m)
+                                     for m in manufacturers]),
+    ]
+
+
+def _best_of(thunk, rounds: int, repeats: int) -> float:
+    """Best per-call seconds over ``rounds`` of ``repeats`` calls."""
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            thunk()
+        elapsed = (time.perf_counter() - start) / repeats
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="also write the measurements as JSON")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per op (best-of; "
+                             "default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="calls per timing round "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    report: dict = {"seed": SEED, "manufacturers": SUBSET}
+    failures: list[str] = []
+
+    print(f"synthesizing seed-{SEED} corpus "
+          f"({', '.join(SUBSET)})...")
+    corpus = generate_corpus(SEED, SUBSET)
+    base = _build(corpus)
+    manufacturers = base.manufacturers()
+    report["records"] = {
+        "disengagements": len(base.disengagements),
+        "accidents": len(base.accidents),
+        "mileage_cells": len(base.mileage),
+    }
+
+    # -- build + serialize ---------------------------------------------
+    started = time.perf_counter()
+    columnar = ColumnarFailureDatabase.from_database(base)
+    build_s = time.perf_counter() - started
+    json_text = base.to_json()
+    assert columnar.to_json() == json_text, "columnar to_json drifted"
+    assert columnar.fingerprint() == base.fingerprint(), \
+        "columnar fingerprint drifted"
+    started = time.perf_counter()
+    blob = encode_columnar(columnar)
+    encode_s = time.perf_counter() - started
+    report["build"] = {
+        "from_database_s": round(build_s, 4),
+        "encode_s": round(encode_s, 4),
+        "json_bytes": len(json_text.encode("utf-8")),
+        "columnar_bytes": len(blob),
+        "size_ratio": round(
+            len(blob) / len(json_text.encode("utf-8")), 4),
+    }
+    print(f"\nbuild: columnar conversion {build_s * 1e3:.1f} ms, "
+          f"binary encode {encode_s * 1e3:.1f} ms")
+    print(f"size:  JSON {len(json_text):,} B -> "
+          f"columnar {len(blob):,} B "
+          f"({len(blob) / len(json_text):.2f}x)")
+    if len(blob) >= len(json_text.encode("utf-8")):
+        failures.append("columnar blob is not smaller than the JSON")
+
+    # -- scan suite: dict vs columnar ----------------------------------
+    # A fresh columnar instance per suite: materializing records (which
+    # the dict side requires by construction) must not help or hinder
+    # the column scans.
+    scans = {}
+    total_dict = total_col = 0.0
+    print(f"\nscan suite ({args.rounds} rounds x {args.repeats} "
+          "calls, best-of):")
+    for (name, dict_op), (_, col_op) in zip(
+            _scan_ops(base, manufacturers),
+            _scan_ops(columnar, manufacturers)):
+        assert dict_op() == col_op(), f"{name} scan drifted"
+        dict_s = _best_of(dict_op, args.rounds, args.repeats)
+        col_s = _best_of(col_op, args.rounds, args.repeats)
+        total_dict += dict_s
+        total_col += col_s
+        scans[name] = {
+            "dict_us": round(dict_s * 1e6, 2),
+            "columnar_us": round(col_s * 1e6, 2),
+            "speedup": round(dict_s / col_s, 2),
+        }
+        print(f"  {name:28s} {dict_s * 1e6:9.1f} us -> "
+              f"{col_s * 1e6:9.1f} us  ({dict_s / col_s:5.1f}x)")
+    suite_speedup = total_dict / total_col
+    report["scans"] = scans
+    report["scan_suite_speedup"] = round(suite_speedup, 2)
+    print(f"  {'suite aggregate':28s} {total_dict * 1e6:9.1f} us -> "
+          f"{total_col * 1e6:9.1f} us  ({suite_speedup:5.1f}x, "
+          f"budget >={SCAN_SPEEDUP_BUDGET:.0f}x)")
+    if suite_speedup < SCAN_SPEEDUP_BUDGET:
+        failures.append(
+            f"scan suite speedup {suite_speedup:.2f}x under the "
+            f"{SCAN_SPEEDUP_BUDGET:.0f}x budget")
+
+    # -- resident memory: JSON record lists vs columnar decode ---------
+    tracemalloc.start()
+    loaded = FailureDatabase.from_json(json_text)
+    len(loaded.disengagements)
+    dict_current, dict_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del loaded
+    tracemalloc.start()
+    decoded = decode_columnar(blob)
+    assert len(decoded.tables["disengagements"]) \
+        == len(base.disengagements)
+    col_current, col_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del decoded
+    memory_ratio = col_current / dict_current
+    report["memory"] = {
+        "dict_resident_bytes": dict_current,
+        "dict_peak_bytes": dict_peak,
+        "columnar_resident_bytes": col_current,
+        "columnar_peak_bytes": col_peak,
+        "resident_ratio": round(memory_ratio, 4),
+    }
+    print(f"\nresident memory (tracemalloc):")
+    print(f"  record objects: {dict_current / 1e6:8.2f} MB "
+          f"(peak {dict_peak / 1e6:.2f} MB)")
+    print(f"  columnar:       {col_current / 1e6:8.2f} MB "
+          f"(peak {col_peak / 1e6:.2f} MB)")
+    print(f"  ratio:          {memory_ratio:8.2f}x")
+    if col_current >= dict_current:
+        failures.append(
+            "columnar resident memory is not smaller than the "
+            "record-object layout")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nreport written to {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nall budgets met.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,12 +39,7 @@ def tag_fractions(db: FailureDatabase,
     for name in names:
         counts: Counter = Counter()
         total = 0
-        for record in db.disengagements:
-            if record.manufacturer != name:
-                continue
-            tag = _tag_of(record, use_truth)
-            if tag is None:
-                continue
+        for tag in db.tag_values(name, use_truth):
             counts[tag.display_name] += 1
             total += 1
         if total:
@@ -70,12 +65,7 @@ def category_percentages(db: FailureDatabase,
                   "ML-Perception/Recognition": 0,
                   "System": 0, "Unknown-C": 0}
         total = 0
-        for record in db.disengagements:
-            if record.manufacturer != name:
-                continue
-            tag = _tag_of(record, use_truth)
-            if tag is None:
-                continue
+        for tag in db.tag_values(name, use_truth):
             total += 1
             category = category_of(tag)
             if category is FailureCategory.ML_DESIGN:
@@ -141,10 +131,8 @@ def modality_percentages(db: FailureDatabase,
     for name in names:
         counts = {modality: 0 for modality in Modality}
         total = 0
-        for record in db.disengagements:
-            if record.manufacturer != name or record.modality is None:
-                continue
-            counts[record.modality] += 1
+        for modality in db.modality_values(name):
+            counts[modality] += 1
             total += 1
         if total:
             out[name] = {modality.value: 100.0 * count / total

@@ -77,12 +77,10 @@ def monthly_series(db: FailureDatabase,
 def has_vehicle_attribution(db: FailureDatabase,
                             manufacturer: str) -> bool:
     """Whether events are attributable to individual vehicles."""
-    records = [r for r in db.disengagements
-               if r.manufacturer == manufacturer]
-    if not records:
+    attributed, total = db.vehicle_attribution_counts(manufacturer)
+    if not total:
         return False
-    attributed = sum(1 for r in records if r.vehicle_id)
-    return attributed / len(records) > 0.9
+    return attributed / total > 0.9
 
 
 def per_unit_dpm(db: FailureDatabase,
@@ -139,14 +137,8 @@ def yearly_dpm_distributions(db: FailureDatabase,
         per_year: dict[int, list[float]] = defaultdict(list)
         if has_vehicle_attribution(db, name):
             # Per (car, year): miles and events split by year.
-            miles: dict[tuple[str, int], float] = defaultdict(float)
-            events: dict[tuple[str, int], int] = defaultdict(int)
-            for cell in db.mileage:
-                if cell.manufacturer == name and cell.vehicle_id:
-                    miles[(cell.vehicle_id, cell.year)] += cell.miles
-            for record in db.disengagements:
-                if record.manufacturer == name and record.vehicle_id:
-                    events[(record.vehicle_id, record.year)] += 1
+            miles = db.vehicle_year_miles(name)
+            events = db.vehicle_year_disengagements(name)
             for (vehicle, year), vehicle_miles in miles.items():
                 if vehicle_miles > 0:
                     per_year[year].append(

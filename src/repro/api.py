@@ -7,7 +7,9 @@ free to keep moving underneath:
 * **Pipeline**: :func:`run_pipeline`, :func:`process_corpus`,
   :func:`build_corpus`, :class:`PipelineConfig`,
   :class:`PipelineResult`.
-* **Persistence**: :func:`load_database`, :class:`FailureDatabase`.
+* **Persistence**: :func:`load_database`, :class:`FailureDatabase`,
+  :class:`ColumnarFailureDatabase`, :func:`save_columnar`,
+  :func:`load_columnar`, :func:`detect_storage_format`.
 * **Query & serving**: :class:`Query`, :class:`QueryEngine`,
   :class:`QueryResult`, :class:`QueryServer`.
 * **Observability**: :class:`MetricsRegistry`,
@@ -74,6 +76,13 @@ from .query import (
     Snapshot,
     SnapshotManager,
 )
+from .storage import (
+    ColumnarFailureDatabase,
+    detect_storage_format,
+    load_any,
+    load_columnar,
+    save_columnar,
+)
 from .synth import SyntheticCorpus, generate_corpus
 
 __all__ = [
@@ -92,8 +101,12 @@ __all__ = [
     "run_pipeline",
     "SyntheticCorpus",
     # Persistence.
+    "ColumnarFailureDatabase",
     "FailureDatabase",
+    "detect_storage_format",
+    "load_columnar",
     "load_database",
+    "save_columnar",
     # Query & serving.
     "Query",
     "QueryEngine",
@@ -137,13 +150,20 @@ def build_corpus(seed: int = 2018,
 def load_database(path: str | Path) -> FailureDatabase:
     """Load a persisted failure database, with typed failures.
 
+    The on-disk format is auto-detected from the file's magic bytes:
+    canonical JSON loads into the dict-backed database, a columnar
+    artifact (``repro convert``, checkpoint blob) into the
+    struct-of-arrays one — both satisfy the same
+    :class:`FailureDatabase` interface and hash to the same
+    fingerprint.
+
     Unlike calling :meth:`FailureDatabase.load` directly, a missing
     file surfaces as :class:`CorruptDatabaseError` too — callers
     (including every CLI verb) handle exactly one exception type for
     "this database is unusable", whatever the root cause.
     """
     try:
-        return FailureDatabase.load(path)
+        return load_any(path)
     except FileNotFoundError as exc:
         raise CorruptDatabaseError(
             f"database file {str(path)!r} does not exist "

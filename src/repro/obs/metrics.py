@@ -70,6 +70,10 @@ REQUESTS_SHED = "repro_requests_shed_total"
 REQUEST_TIMEOUTS = "repro_request_timeouts_total"
 #: Serving: requests currently being handled (admission gauge).
 REQUESTS_INFLIGHT = "repro_requests_inflight"
+#: Storage: rows converted to the columnar backend, by table.
+STORAGE_ROWS = "repro_storage_rows_total"
+#: Storage: wall time spent converting to the columnar backend.
+STORAGE_CONVERT_SECONDS = "repro_storage_convert_seconds"
 
 #: Fixed latency bucket upper bounds in seconds (+Inf is implicit).
 DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,

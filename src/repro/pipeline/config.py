@@ -12,6 +12,11 @@ from .chaos import ChaosConfig, CrashPoint
 from .parallel import PROCESS_POOL_MIN_WORKERS, WORKER_MODES
 from .resilience import POLICY_MODES, FailurePolicy
 
+#: Database layouts a run may select.  Names only — the columnar
+#: implementation lives in :mod:`repro.storage` and is imported
+#: lazily by its consumers (a config import must stay dependency-free).
+STORAGE_BACKENDS = ("dict", "columnar")
+
 
 @dataclass
 class PipelineConfig:
@@ -85,6 +90,14 @@ class PipelineConfig:
     #: counters, cache hit rates) into the process-global
     #: :func:`repro.obs.default_registry`.  Off by default.
     metrics_enabled: bool = False
+    #: In-memory layout of the consolidated database: ``"dict"`` (the
+    #: historical record-object lists) or ``"columnar"``
+    #: (struct-of-arrays tables from :mod:`repro.storage`).  Purely a
+    #: representation choice — both backends produce byte-identical
+    #: JSON, fingerprints, and analysis results — so, like
+    #: ``workers``, it is excluded from the checkpoint config
+    #: fingerprint.
+    storage_backend: str = "dict"
 
     def __post_init__(self) -> None:
         if self.dictionary_mode not in ("seed", "expanded"):
@@ -115,6 +128,10 @@ class PipelineConfig:
             raise ValueError(
                 f"worker_mode must be one of {WORKER_MODES}, got "
                 f"{self.worker_mode!r}")
+        if self.storage_backend not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"storage_backend must be one of {STORAGE_BACKENDS}, "
+                f"got {self.storage_backend!r}")
 
     @property
     def checkpointing_active(self) -> bool:

@@ -123,7 +123,7 @@ class ParallelStats:
 # Worker-side state.
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class UnitOutcome:
     """What one worker computed for one unit of work.
 
@@ -131,11 +131,17 @@ class UnitOutcome:
     ``error`` carries a ``fail_fast`` verdict); the remaining fields
     are coordinator-side sidecars that never enter the journal, so the
     journal format stays identical to serial runs.
+
+    Outcomes cross the process-pool pipe once per unit, so the class
+    is built for cheap transfer: ``__slots__`` (no instance dict) and
+    a plain 7-tuple pickle state — no per-instance field names, no
+    class-dict payload beyond the one shared qualname reference.
     """
 
     body: dict[str, Any] | None
-    #: Per-stage resilience counter deltas + degradation events.
-    health: dict[str, Any]
+    #: Per-stage resilience counter deltas + degradation events, as
+    #: the ``(stages, events)`` pair :func:`_health_delta` builds.
+    health: tuple
     #: ``fail_fast`` verdict to re-raise at merge time (the serialized
     #: :class:`~repro.errors.PipelineError` message).
     error: str | None = None
@@ -148,6 +154,14 @@ class UnitOutcome:
     #: Per-unit :meth:`~repro.obs.MetricsRegistry.dump` delta
     #: (``None`` unless the run has ``metrics_enabled``).
     metrics: dict[str, Any] | None = None
+
+    def __getstate__(self) -> tuple:
+        return (self.body, self.health, self.error, self.ocr,
+                self.elapsed, self.injected, self.metrics)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.body, self.health, self.error, self.ocr,
+         self.elapsed, self.injected, self.metrics) = state
 
 
 #: Pickled ``(config, dictionary_json | None, pool_mode)`` for the
@@ -238,17 +252,23 @@ def _worker_state() -> _WorkerState:
     return state
 
 
-def _health_delta(guard) -> dict[str, Any]:
-    """A worker guard's counters as a mergeable, picklable delta."""
-    return {
-        "stages": {
-            name: [s.attempts, s.errors, s.retries,
-                   s.degradations, s.quarantined]
+def _health_delta(guard) -> tuple:
+    """A worker guard's counters as a mergeable, picklable delta.
+
+    A bare ``(stages, events)`` pair rather than a keyed dict: the
+    delta rides home once per unit, and dropping the two string keys
+    (and their dict) from every pickle is measurable at Stage III
+    volumes (see ``benchmarks/bench_parallel.py``).
+    """
+    return (
+        {
+            name: (s.attempts, s.errors, s.retries,
+                   s.degradations, s.quarantined)
             for name, s in guard.health.stages.items()
             if s.attempts or s.errors or s.retries
         },
-        "events": list(guard.health.degradation_events),
-    }
+        list(guard.health.degradation_events),
+    )
 
 
 def _stage2_unit(task: tuple[str, Any]) -> UnitOutcome:

@@ -38,7 +38,12 @@ from ..nlp.dictionary import FailureDictionary
 from ..nlp.evaluation import evaluate_tagger
 from ..nlp.tagger import VotingTagger
 from ..nlp.textcache import token_cache
-from ..obs.metrics import TOKEN_CACHE_HITS, TOKEN_CACHE_MISSES
+from ..obs.metrics import (
+    STORAGE_CONVERT_SECONDS,
+    STORAGE_ROWS,
+    TOKEN_CACHE_HITS,
+    TOKEN_CACHE_MISSES,
+)
 from ..obs.runtime import Observability
 from ..parsing import (
     default_registry,
@@ -113,12 +118,51 @@ def process_corpus(corpus: SyntheticCorpus,
                              workers=config.workers):
             result = _process(corpus, config, diagnostics, database,
                               guard, store, obs)
+            _finalize_storage(result, config, store, obs)
         _snapshot_obs(obs, diagnostics, config, cache_before)
         return result
     finally:
         if store is not None:
             store.close()
         obs.close()
+
+
+def _finalize_storage(result: PipelineResult, config: PipelineConfig,
+                      store: CheckpointStore | None,
+                      obs: Observability) -> None:
+    """Swap the finished database to the configured storage backend.
+
+    ``storage_backend="columnar"`` repacks the corpus into
+    struct-of-arrays tables (byte-identical JSON/fingerprint — the
+    backend is a representation choice, never an output change) and,
+    when checkpointing is active, leaves an atomic columnar snapshot
+    artifact beside the journals so a later consumer can reload the
+    packed form directly.
+    """
+    if config.storage_backend != "columnar":
+        return
+    # Imported lazily: repro.storage imports this package.
+    from ..storage import ColumnarFailureDatabase, encode_columnar
+
+    started = time.perf_counter()
+    with obs.stage("storage-convert", backend=config.storage_backend):
+        columnar = ColumnarFailureDatabase.from_database(
+            result.database)
+        if store is not None:
+            store.write_blob_artifact(
+                "database", encode_columnar(columnar))
+    result.database = columnar
+    registry = obs.registry
+    if registry is not None:
+        rows = registry.counter(
+            STORAGE_ROWS, "Rows packed into columnar tables",
+            ("table",))
+        for name, table in columnar.tables.items():
+            rows.labels(name).inc(len(table))
+        registry.counter(
+            STORAGE_CONVERT_SECONDS,
+            "Wall time spent converting to the columnar backend",
+        ).inc(time.perf_counter() - started)
 
 
 def _snapshot_obs(obs: Observability,
@@ -486,7 +530,7 @@ def _merge_tag(outcome: UnitOutcome, record,
 def _merge_worker_health(outcome: UnitOutcome,
                          guard: StageGuard) -> None:
     """Fold a worker's per-unit health delta into the run health."""
-    par_stats = outcome.health["stages"]
+    par_stats, events = outcome.health
     for name, (attempts, errors, retries, degradations,
                quarantined) in par_stats.items():
         stats = guard.health.stage(name)
@@ -495,7 +539,7 @@ def _merge_worker_health(outcome: UnitOutcome,
         stats.retries += retries
         stats.degradations += degradations
         stats.quarantined += quarantined
-    guard.health.degradation_events.extend(outcome.health["events"])
+    guard.health.degradation_events.extend(events)
     if guard.chaos is not None:
         guard.chaos.injected += outcome.injected
     if outcome.metrics is not None and guard.metrics is not None:
@@ -511,7 +555,7 @@ def _check_merged_thresholds(outcome: UnitOutcome,
     carries a quarantine — with the merged (run-global) stats, the
     run aborts at the same unit with the same message.
     """
-    for name, counters in outcome.health["stages"].items():
+    for name, counters in outcome.health[0].items():
         if counters[4]:  # quarantined
             guard.check_threshold(name)
 

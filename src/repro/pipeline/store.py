@@ -61,6 +61,10 @@ class FailureDatabase:
     #: clean run; carried in the JSON only when non-empty so clean
     #: databases stay byte-identical across library versions).
     quarantine: Quarantine = field(default_factory=Quarantine)
+    #: Memoized ``(content token, fingerprint)`` pair — see
+    #: :meth:`fingerprint` / :meth:`touch`.
+    _fp_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Grouping helpers.
@@ -133,6 +137,88 @@ class FailureDatabase:
         return sum(cell.miles for cell in self.mileage)
 
     # ------------------------------------------------------------------
+    # Scan hooks.
+    #
+    # Narrow, data-shaped questions Stage IV asks in hot loops.  The
+    # base implementations scan the record lists; the columnar backend
+    # (``repro.storage``) overrides them with struct-of-arrays scans
+    # that return the *same* values in the *same* order — analysis
+    # code calls the hook and never needs to know the layout.
+    # ------------------------------------------------------------------
+
+    def vehicle_attribution_counts(self, manufacturer: str,
+                                   ) -> tuple[int, int]:
+        """``(vehicle-attributed, total)`` disengagement counts."""
+        attributed = 0
+        total = 0
+        for record in self.disengagements:
+            if record.manufacturer == manufacturer:
+                total += 1
+                if record.vehicle_id:
+                    attributed += 1
+        return attributed, total
+
+    def vehicle_year_miles(self, manufacturer: str,
+                           ) -> dict[tuple[str, int], float]:
+        """(vehicle id, year) -> miles for one manufacturer.
+
+        Key order is first-occurrence order over the mileage cells —
+        downstream per-year distributions depend on it.
+        """
+        totals: dict[tuple[str, int], float] = defaultdict(float)
+        for cell in self.mileage:
+            if cell.manufacturer == manufacturer and cell.vehicle_id:
+                totals[(cell.vehicle_id, cell.year)] += cell.miles
+        return dict(totals)
+
+    def vehicle_year_disengagements(self, manufacturer: str,
+                                    ) -> dict[tuple[str, int], int]:
+        """(vehicle id, year) -> disengagement count."""
+        counts: dict[tuple[str, int], int] = defaultdict(int)
+        for record in self.disengagements:
+            if record.manufacturer == manufacturer and record.vehicle_id:
+                counts[(record.vehicle_id, record.year)] += 1
+        return dict(counts)
+
+    def tag_values(self, manufacturer: str,
+                   use_truth: bool = False) -> list:
+        """Non-``None`` fault tags of one manufacturer, in row order."""
+        if use_truth:
+            return [r.truth_tag for r in self.disengagements
+                    if r.manufacturer == manufacturer
+                    and r.truth_tag is not None]
+        return [r.tag for r in self.disengagements
+                if r.manufacturer == manufacturer
+                and r.tag is not None]
+
+    def modality_values(self, manufacturer: str) -> list:
+        """Non-``None`` modalities of one manufacturer, in row order."""
+        return [r.modality for r in self.disengagements
+                if r.manufacturer == manufacturer
+                and r.modality is not None]
+
+    def disengagement_index_rows(self):
+        """``(record, manufacturer, month, tag)`` rows for index builds.
+
+        :class:`~repro.query.index.DatabaseIndex` groups on these three
+        keys; yielding them alongside the record lets the columnar
+        backend serve the keys from its packed arrays while the index
+        keeps one build implementation.
+        """
+        for record in self.disengagements:
+            yield record, record.manufacturer, record.month, record.tag
+
+    def accident_index_rows(self):
+        """``(record, manufacturer)`` rows for index builds."""
+        for record in self.accidents:
+            yield record, record.manufacturer
+
+    def mileage_index_rows(self):
+        """``(cell, manufacturer, month, miles)`` rows for index builds."""
+        for cell in self.mileage:
+            yield cell, cell.manufacturer, cell.month, cell.miles
+
+    # ------------------------------------------------------------------
     # Persistence.
     # ------------------------------------------------------------------
 
@@ -153,6 +239,25 @@ class FailureDatabase:
         """Serialize the database to a JSON string."""
         return json.dumps(self._payload())
 
+    def _content_token(self) -> tuple:
+        """Cheap mutation witness guarding the fingerprint memo.
+
+        Record additions and removals (the mutations the pipeline,
+        ingestion, and the serving layer actually perform) all change
+        a collection length; in-place *field* edits on an existing
+        record do not, and callers doing that must :meth:`touch`.
+        """
+        return (len(self.disengagements), len(self.accidents),
+                len(self.mileage), len(self.quarantine))
+
+    def touch(self) -> None:
+        """Invalidate the fingerprint memo after in-place mutation.
+
+        Only needed when editing fields of existing records —
+        length-changing mutations are detected automatically.
+        """
+        self._fp_cache = None
+
     def fingerprint(self) -> str:
         """Stable content hash of the database.
 
@@ -162,8 +267,20 @@ class FailureDatabase:
         content always fingerprint identically regardless of in-memory
         construction order of equal JSON texts.  The query layer keys
         its caches and indexes on this value.
+
+        Memoized: snapshot swaps and cache lookups hit this on every
+        request, so re-hashing the whole corpus each time is pure
+        waste.  The memo is invalidated by any length-changing
+        mutation (see :meth:`_content_token`) or an explicit
+        :meth:`touch`.
         """
-        return sha256_text(canonical_json(self._payload()))
+        token = self._content_token()
+        cached = self._fp_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        value = sha256_text(canonical_json(self._payload()))
+        self._fp_cache = (token, value)
+        return value
 
     @classmethod
     def from_json(cls, text: str, *,

@@ -111,45 +111,50 @@ class DatabaseIndex:
         ``fingerprint`` lets a caller that already hashed the database
         (the engine does, for cache keying) avoid hashing it twice.
         """
+        # The grouping keys come from the database's index-row streams
+        # rather than per-record attribute access: the columnar
+        # backend serves (manufacturer, month, tag) straight from its
+        # packed arrays, the dict backend reads the attributes — one
+        # build implementation, byte-identical groupings either way.
         by_manufacturer: dict[str, list] = {}
         by_month: dict[str, list] = {}
         by_tag: dict[FaultTag, list] = {}
         by_category: dict[FailureCategory, list] = {}
         by_id: dict[str, DisengagementRecord] = {}
         monthly_events: dict[str, dict[str, int]] = {}
-        for record in db.disengagements:
-            by_manufacturer.setdefault(record.manufacturer,
+        for record, manufacturer, month, tag \
+                in db.disengagement_index_rows():
+            by_manufacturer.setdefault(manufacturer,
                                        []).append(record)
-            by_month.setdefault(record.month, []).append(record)
-            if record.tag is not None:
-                by_tag.setdefault(record.tag, []).append(record)
-                by_category.setdefault(category_of(record.tag),
+            by_month.setdefault(month, []).append(record)
+            if tag is not None:
+                by_tag.setdefault(tag, []).append(record)
+                by_category.setdefault(category_of(tag),
                                        []).append(record)
             by_id[disengagement_id(record)] = record
-            per_month = monthly_events.setdefault(
-                record.manufacturer, {})
-            per_month[record.month] = per_month.get(record.month, 0) + 1
+            per_month = monthly_events.setdefault(manufacturer, {})
+            per_month[month] = per_month.get(month, 0) + 1
 
         accidents_by_manufacturer: dict[str, list] = {}
         accident_ids: dict[str, AccidentRecord] = {}
-        for record in db.accidents:
+        for record, manufacturer in db.accident_index_rows():
             accidents_by_manufacturer.setdefault(
-                record.manufacturer, []).append(record)
+                manufacturer, []).append(record)
             accident_ids[accident_id(record)] = record
 
         mileage_by_manufacturer: dict[str, list] = {}
         miles_totals: dict[str, float] = {}
         monthly_miles: dict[str, dict[str, float]] = {}
         months: set[str] = set(by_month)
-        for cell in db.mileage:
+        for cell, manufacturer, month, miles \
+                in db.mileage_index_rows():
             mileage_by_manufacturer.setdefault(
-                cell.manufacturer, []).append(cell)
-            miles_totals[cell.manufacturer] = (
-                miles_totals.get(cell.manufacturer, 0.0) + cell.miles)
-            per_month = monthly_miles.setdefault(cell.manufacturer, {})
-            per_month[cell.month] = (per_month.get(cell.month, 0.0)
-                                     + cell.miles)
-            months.add(cell.month)
+                manufacturer, []).append(cell)
+            miles_totals[manufacturer] = (
+                miles_totals.get(manufacturer, 0.0) + miles)
+            per_month = monthly_miles.setdefault(manufacturer, {})
+            per_month[month] = per_month.get(month, 0.0) + miles
+            months.add(month)
 
         return cls(
             fingerprint=(fingerprint if fingerprint is not None

@@ -1,0 +1,72 @@
+"""Columnar storage subsystem (struct-of-arrays corpus backend).
+
+The corpus as columns instead of record objects: packed
+:mod:`array` buffers for numerics, interned string pools for
+categoricals, per-table versioned schemas — behind the exact
+:class:`~repro.pipeline.store.FailureDatabase` interface the rest of
+the repo already speaks.  Canonical JSON stays the golden-parity
+interchange format: a columnar database serializes, fingerprints, and
+analyzes byte-identically to its dict-backed twin.
+
+Select it per run with ``PipelineConfig(storage_backend="columnar")``
+(CLI ``--storage columnar``), or convert existing database files with
+``repro convert``.
+"""
+
+from .backend import ColumnarFailureDatabase
+from .columns import (
+    BoolColumn,
+    COLUMN_KINDS,
+    FloatColumn,
+    IntColumn,
+    JsonColumn,
+    StringColumn,
+    StringPool,
+)
+from .io import (
+    MAGIC,
+    decode_columnar,
+    detect_storage_format,
+    encode_columnar,
+    load_any,
+    load_columnar,
+    save_columnar,
+)
+from .schema import (
+    ACCIDENT_SCHEMA,
+    ColumnSpec,
+    DISENGAGEMENT_SCHEMA,
+    MILEAGE_SCHEMA,
+    QUARANTINE_SCHEMA,
+    STORAGE_FORMAT,
+    TABLE_SCHEMAS,
+    TableSchema,
+)
+from .table import ColumnTable
+
+__all__ = [
+    "ColumnarFailureDatabase",
+    "ColumnTable",
+    "ColumnSpec",
+    "TableSchema",
+    "StringPool",
+    "StringColumn",
+    "JsonColumn",
+    "FloatColumn",
+    "IntColumn",
+    "BoolColumn",
+    "COLUMN_KINDS",
+    "STORAGE_FORMAT",
+    "TABLE_SCHEMAS",
+    "DISENGAGEMENT_SCHEMA",
+    "ACCIDENT_SCHEMA",
+    "MILEAGE_SCHEMA",
+    "QUARANTINE_SCHEMA",
+    "MAGIC",
+    "encode_columnar",
+    "decode_columnar",
+    "save_columnar",
+    "load_columnar",
+    "load_any",
+    "detect_storage_format",
+]

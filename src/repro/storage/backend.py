@@ -1,0 +1,680 @@
+"""Columnar `FailureDatabase`: same interface, struct-of-arrays inside.
+
+:class:`ColumnarFailureDatabase` subclasses the dict-backed
+:class:`~repro.pipeline.store.FailureDatabase` so every consumer —
+Stage IV kernels, the query engine, the CLI — keeps working unchanged.
+What changes is the data layout underneath:
+
+* the corpus lives in :class:`~repro.storage.table.ColumnTable`s
+  (packed arrays + interned string pools), not record-object lists;
+* the record-list attributes (``disengagements`` / ``accidents`` /
+  ``mileage``) are **lazy**: touching one materializes real record
+  objects from the columns (the same ``from_dict`` path a JSON load
+  takes) and caches them, so legacy record-scanning code still works;
+* the hot scan hooks of the base class are overridden with
+  column scans that walk the packed arrays directly — no record
+  objects, no per-row attribute lookups, no repeated enum parsing —
+  and return byte-identical results (same values, same dict insertion
+  order, same left-to-right float accumulation).
+
+Parity discipline: a column scan is only trusted while the columns are
+authoritative.  Once a table's records have been materialized a caller
+may have mutated them, so every override checks and falls back to the
+(record-scanning) base implementation for that table — correctness
+never depends on guessing whether a mutation happened.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator
+
+try:  # soft dependency: every kernel has a pure-stdlib fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the repo env
+    _np = None
+
+from ..parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+from ..pipeline.resilience import Quarantine
+from ..pipeline.store import FailureDatabase
+from ..taxonomy import FaultTag, Modality
+from .schema import TABLE_SCHEMAS
+from .table import ColumnTable
+
+#: Record tables, in payload section order.
+TABLE_NAMES = ("disengagements", "accidents", "mileage")
+
+_FROM_DICT = {
+    "disengagements": DisengagementRecord.from_dict,
+    "accidents": AccidentRecord.from_dict,
+    "mileage": MonthlyMileage.from_dict,
+}
+
+
+def _fresh_tables() -> dict[str, ColumnTable]:
+    return {name: ColumnTable(TABLE_SCHEMAS[name])
+            for name in TABLE_NAMES}
+
+
+# ----------------------------------------------------------------------
+# numpy kernel helpers (zero-copy views over the packed buffers).
+#
+# The vectorized scans lean on two exactness facts:
+#
+# * ``np.frombuffer`` aliases the ``array`` buffer — no copy, and the
+#   view is built fresh per scan, so an append (which may reallocate
+#   the buffer) can never leave a kernel reading stale memory.
+# * ``np.bincount`` accumulates its weights *sequentially* into each
+#   bin, i.e. it computes exactly the per-key left-fold the dict
+#   backend's ``totals[key] = totals.get(key, 0.0) + value`` loop
+#   does — grouped float sums are bit-identical, not just close.
+# ----------------------------------------------------------------------
+
+def _ids_view(column):
+    """Pool-id buffer of a string column as an ``int32`` view."""
+    return _np.frombuffer(column.ids, dtype=_np.int32)
+
+
+def _f64_view(column):
+    """Value buffer of a float column as a ``float64`` view."""
+    return _np.frombuffer(column.values, dtype=_np.float64)
+
+
+def _mask_view(column):
+    """Null mask of a float/int column as a ``uint8`` view."""
+    return _np.frombuffer(column.mask, dtype=_np.uint8)
+
+
+def _first_seen(ids) -> list[int]:
+    """Distinct values of ``ids`` in first-occurrence order.
+
+    Reconstructs the insertion order a row-order dict fold would have
+    produced, so vectorized results iterate identically to the base
+    class's.  ``dict.fromkeys`` beats ``np.unique(return_index=True)``
+    at the subset sizes these scans see (it avoids the sort).
+    """
+    return list(dict.fromkeys(ids.tolist()))
+
+
+def _plain_floats(column) -> bool:
+    """Whether a float column is pure packed doubles (no gaps)."""
+    return not column.exceptions and not column.null_count
+
+
+class ColumnarFailureDatabase(FailureDatabase):
+    """Drop-in :class:`FailureDatabase` backed by columnar tables."""
+
+    def __init__(self, tables: dict[str, ColumnTable] | None = None,
+                 quarantine: Quarantine | None = None) -> None:
+        self.tables = tables if tables is not None else _fresh_tables()
+        if self.tables.keys() != set(TABLE_NAMES):
+            raise ValueError(
+                f"expected tables {TABLE_NAMES}, "
+                f"got {sorted(self.tables)}")
+        self.quarantine = (quarantine if quarantine is not None
+                           else Quarantine())
+        #: Table name -> cached record list, once materialized.
+        self._materialized: dict[str, list] = {}
+        #: Scan-support caches (pool-id -> enum / year lookups).
+        self._caches: dict[tuple, list] = {}
+
+    # ------------------------------------------------------------------
+    # Conversion.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, db: FailureDatabase,
+                      ) -> "ColumnarFailureDatabase":
+        """Columnar copy of any database (shares no mutable state)."""
+        tables = _fresh_tables()
+        for record in db.disengagements:
+            tables["disengagements"].append_row(record.to_dict())
+        for record in db.accidents:
+            tables["accidents"].append_row(record.to_dict())
+        for cell in db.mileage:
+            tables["mileage"].append_row(cell.to_dict())
+        return cls(tables=tables,
+                   quarantine=Quarantine(
+                       entries=list(db.quarantine.entries)))
+
+    def to_database(self) -> FailureDatabase:
+        """Dict-backed copy (fresh record objects, fresh lists)."""
+        return FailureDatabase(
+            disengagements=list(self.disengagements),
+            accidents=list(self.accidents),
+            mileage=list(self.mileage),
+            quarantine=Quarantine(entries=list(self.quarantine.entries)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str, *,
+                  source: str | Path | None = None,
+                  ) -> "ColumnarFailureDatabase":
+        """Decode canonical JSON straight into columns."""
+        return cls.from_database(
+            FailureDatabase.from_json(text, source=source))
+
+    # ------------------------------------------------------------------
+    # Lazy record materialization.
+    # ------------------------------------------------------------------
+
+    def _records(self, name: str) -> list:
+        cached = self._materialized.get(name)
+        if cached is None:
+            from_dict = _FROM_DICT[name]
+            cached = [from_dict(row) for row in self.tables[name].rows()]
+            self._materialized[name] = cached
+        return cached
+
+    @property
+    def disengagements(self) -> list[DisengagementRecord]:
+        return self._records("disengagements")
+
+    @disengagements.setter
+    def disengagements(self, value) -> None:
+        self._materialized["disengagements"] = list(value)
+        self.touch()
+
+    @property
+    def accidents(self) -> list[AccidentRecord]:
+        return self._records("accidents")
+
+    @accidents.setter
+    def accidents(self, value) -> None:
+        self._materialized["accidents"] = list(value)
+        self.touch()
+
+    @property
+    def mileage(self) -> list[MonthlyMileage]:
+        return self._records("mileage")
+
+    @mileage.setter
+    def mileage(self, value) -> None:
+        self._materialized["mileage"] = list(value)
+        self.touch()
+
+    def _table(self, name: str) -> ColumnTable | None:
+        """The table when its columns are still authoritative.
+
+        ``None`` once the table's records have been materialized (a
+        caller may have mutated the list) — overrides then fall back
+        to the record-scanning base implementation.
+        """
+        return None if name in self._materialized else self.tables[name]
+
+    # ------------------------------------------------------------------
+    # Payload / fingerprint.
+    # ------------------------------------------------------------------
+
+    def _payload(self) -> dict[str, Any]:
+        if self._materialized:
+            return super()._payload()
+        payload = {name: list(self.tables[name].rows())
+                   for name in TABLE_NAMES}
+        if self.quarantine:
+            payload["quarantine"] = [e.to_dict()
+                                     for e in self.quarantine]
+        return payload
+
+    def _content_token(self) -> tuple:
+        return tuple(
+            len(self._materialized[name]) if name in self._materialized
+            else len(self.tables[name])
+            for name in TABLE_NAMES) + (len(self.quarantine),)
+
+    # ------------------------------------------------------------------
+    # Scan-support caches.
+    # ------------------------------------------------------------------
+
+    def _enum_map(self, table: str, column: str, enum_cls) -> list:
+        """Pool id -> enum member for one categorical column."""
+        pool = self.tables[table].column(column).pool
+        key = (table, column)
+        cached = self._caches.get(key)
+        if cached is None or len(cached) < len(pool.strings):
+            cached = [enum_cls(s) for s in pool.strings]
+            self._caches[key] = cached
+        return cached
+
+    def _year_map(self, table: str) -> list:
+        """Pool id -> calendar year for a ``YYYY-MM`` month column."""
+        pool = self.tables[table].column("month").pool
+        key = (table, "month:year")
+        cached = self._caches.get(key)
+        if cached is None or len(cached) < len(pool.strings):
+            cached = [int(s[:4]) for s in pool.strings]
+            self._caches[key] = cached
+        return cached
+
+    @staticmethod
+    def _plain(column) -> bool:
+        """Whether a string column is pure pooled ids (fast-scannable)."""
+        return not column.exceptions and not column.null_count
+
+    @staticmethod
+    def _vehicle_selection(man, vehicle, target: int):
+        """Row mask: ``target``'s rows with a non-empty vehicle id.
+
+        Mirrors the base class's ``if record.vehicle_id`` — ``None``
+        (id ``-1``) and the pooled empty string both drop out.
+        """
+        vid = _ids_view(vehicle)
+        sel = (_ids_view(man) == target) & (vid >= 0)
+        empty = vehicle.pool.id_of("")
+        if empty >= 0:
+            sel &= vid != empty
+        return sel, vid
+
+    # ------------------------------------------------------------------
+    # Vectorized scan overrides (byte-identical to the base class).
+    # ------------------------------------------------------------------
+
+    def manufacturers(self) -> list[str]:
+        names: set[str] = set()
+        for name in TABLE_NAMES:
+            table = self._table(name)
+            if table is None:
+                names.update(r.manufacturer
+                             for r in self._materialized[name])
+            else:
+                names.update(table.column("manufacturer").unique())
+        return sorted(names)
+
+    def miles_by_manufacturer(self) -> dict[str, float]:
+        table = self._table("mileage")
+        if table is None or not self._plain(
+                table.column("manufacturer")):
+            return super().miles_by_manufacturer()
+        man = table.column("manufacturer")
+        miles = table.column("miles")
+        strings = man.pool.strings
+        if _np is not None and _plain_floats(miles):
+            ids = _ids_view(man)
+            sums = _np.bincount(ids, weights=_f64_view(miles),
+                                minlength=len(strings))
+            return {strings[i]: float(sums[i])
+                    for i in _first_seen(ids)}
+        totals: dict[str, float] = {}
+        get = totals.get
+        for pooled, cell_miles in zip(man.ids, miles):
+            name = strings[pooled]
+            totals[name] = get(name, 0.0) + cell_miles
+        return totals
+
+    def monthly_miles(self, manufacturer: str) -> dict[str, float]:
+        table = self._table("mileage")
+        if table is None:
+            return super().monthly_miles(manufacturer)
+        man = table.column("manufacturer")
+        month = table.column("month")
+        if not self._plain(man) or not self._plain(month):
+            return super().monthly_miles(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return {}
+        months = month.pool.strings
+        miles = table.column("miles")
+        if _np is not None and _plain_floats(miles):
+            sel = _ids_view(man) == target
+            mo_sub = _ids_view(month)[sel]
+            occurrences = _np.bincount(mo_sub, minlength=len(months))
+            sums = _np.bincount(mo_sub, weights=_f64_view(miles)[sel],
+                                minlength=len(months))
+            present = _np.flatnonzero(occurrences).tolist()
+            return {months[i]: float(sums[i]) for i
+                    in sorted(present, key=months.__getitem__)}
+        totals: dict[str, float] = {}
+        get = totals.get
+        for mid, mo, cell_miles in zip(man.ids, month.ids, miles):
+            if mid == target:
+                key = months[mo]
+                totals[key] = get(key, 0.0) + cell_miles
+        return dict(sorted(totals.items()))
+
+    def monthly_disengagements(self, manufacturer: str,
+                               ) -> dict[str, int]:
+        table = self._table("disengagements")
+        if table is None:
+            return super().monthly_disengagements(manufacturer)
+        man = table.column("manufacturer")
+        month = table.column("month")
+        if not self._plain(man) or not self._plain(month):
+            return super().monthly_disengagements(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return {}
+        months = month.pool.strings
+        if _np is not None:
+            mo_sub = _ids_view(month)[_ids_view(man) == target]
+            occurrences = _np.bincount(mo_sub, minlength=len(months))
+            present = _np.flatnonzero(occurrences).tolist()
+            return {months[i]: int(occurrences[i]) for i
+                    in sorted(present, key=months.__getitem__)}
+        counts: dict[str, int] = {}
+        get = counts.get
+        for mid, mo in zip(man.ids, month.ids):
+            if mid == target:
+                key = months[mo]
+                counts[key] = get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def vehicle_miles(self, manufacturer: str) -> dict[str, float]:
+        table = self._table("mileage")
+        if table is None:
+            return super().vehicle_miles(manufacturer)
+        man = table.column("manufacturer")
+        vehicle = table.column("vehicle_id")
+        if not self._plain(man) or vehicle.exceptions:
+            return super().vehicle_miles(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return {}
+        vehicles = vehicle.pool.strings
+        miles = table.column("miles")
+        if _np is not None and _plain_floats(miles):
+            sel, vid = self._vehicle_selection(man, vehicle, target)
+            vid_sub = vid[sel]
+            sums = _np.bincount(vid_sub, weights=_f64_view(miles)[sel],
+                                minlength=len(vehicles))
+            return {vehicles[i]: float(sums[i])
+                    for i in _first_seen(vid_sub)}
+        totals: dict[str, float] = {}
+        get = totals.get
+        for mid, vid, cell_miles in zip(man.ids, vehicle.ids, miles):
+            if mid == target and vid >= 0:
+                name = vehicles[vid]
+                if name:
+                    totals[name] = get(name, 0.0) + cell_miles
+        return totals
+
+    def vehicle_disengagements(self, manufacturer: str,
+                               ) -> dict[str, int]:
+        table = self._table("disengagements")
+        if table is None:
+            return super().vehicle_disengagements(manufacturer)
+        man = table.column("manufacturer")
+        vehicle = table.column("vehicle_id")
+        if not self._plain(man) or vehicle.exceptions:
+            return super().vehicle_disengagements(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return {}
+        vehicles = vehicle.pool.strings
+        if _np is not None:
+            sel, vid = self._vehicle_selection(man, vehicle, target)
+            vid_sub = vid[sel]
+            occurrences = _np.bincount(vid_sub,
+                                       minlength=len(vehicles))
+            return {vehicles[i]: int(occurrences[i])
+                    for i in _first_seen(vid_sub)}
+        counts: dict[str, int] = {}
+        get = counts.get
+        for mid, vid in zip(man.ids, vehicle.ids):
+            if mid == target and vid >= 0:
+                name = vehicles[vid]
+                if name:
+                    counts[name] = get(name, 0) + 1
+        return counts
+
+    def reaction_times(self, manufacturer: str | None = None,
+                       ) -> list[float]:
+        table = self._table("disengagements")
+        if table is None:
+            return super().reaction_times(manufacturer)
+        times = table.column("reaction_time_s")
+        if manufacturer is None:
+            if times.exceptions:
+                return [v for v in times if v is not None]
+            if _np is not None:
+                return _f64_view(times)[_mask_view(times) == 0] \
+                    .tolist()
+            return [v for v, masked in zip(times.values, times.mask)
+                    if not masked]
+        man = table.column("manufacturer")
+        if not self._plain(man):
+            return super().reaction_times(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return []
+        if times.exceptions:
+            out = []
+            for row, mid in enumerate(man.ids):
+                if mid == target:
+                    value = times.get(row)
+                    if value is not None:
+                        out.append(value)
+            return out
+        if _np is not None:
+            sel = (_ids_view(man) == target) & (_mask_view(times) == 0)
+            return _f64_view(times)[sel].tolist()
+        return [v for mid, v, masked in zip(man.ids, times.values,
+                                            times.mask)
+                if mid == target and not masked]
+
+    @property
+    def total_miles(self) -> float:
+        table = self._table("mileage")
+        if table is None:
+            return super().total_miles
+        miles = table.column("miles")
+        if _np is not None and _plain_floats(miles) and len(miles):
+            # cumsum accumulates left-to-right, so its last element is
+            # bit-identical to the row-order Python fold (np.sum is
+            # pairwise and would drift in the last ulps).
+            return float(_np.cumsum(_f64_view(miles))[-1])
+        return sum(miles)
+
+    def vehicle_attribution_counts(self, manufacturer: str,
+                                   ) -> tuple[int, int]:
+        table = self._table("disengagements")
+        if table is None:
+            return super().vehicle_attribution_counts(manufacturer)
+        man = table.column("manufacturer")
+        vehicle = table.column("vehicle_id")
+        if not self._plain(man) or vehicle.exceptions:
+            return super().vehicle_attribution_counts(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return 0, 0
+        vehicles = vehicle.pool.strings
+        if _np is not None:
+            sel, _ = self._vehicle_selection(man, vehicle, target)
+            total = int(_np.count_nonzero(_ids_view(man) == target))
+            return int(_np.count_nonzero(sel)), total
+        attributed = 0
+        total = 0
+        for mid, vid in zip(man.ids, vehicle.ids):
+            if mid == target:
+                total += 1
+                if vid >= 0 and vehicles[vid]:
+                    attributed += 1
+        return attributed, total
+
+    def vehicle_year_miles(self, manufacturer: str,
+                           ) -> dict[tuple[str, int], float]:
+        table = self._table("mileage")
+        if table is None:
+            return super().vehicle_year_miles(manufacturer)
+        man = table.column("manufacturer")
+        vehicle = table.column("vehicle_id")
+        month = table.column("month")
+        if (not self._plain(man) or not self._plain(month)
+                or vehicle.exceptions):
+            return super().vehicle_year_miles(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return {}
+        vehicles = vehicle.pool.strings
+        years = self._year_map("mileage")
+        miles = table.column("miles")
+        if _np is not None and _plain_floats(miles):
+            sel, vid = self._vehicle_selection(man, vehicle, target)
+            vid_sub = vid[sel]
+            if vid_sub.size == 0:
+                return {}
+            year_of = _np.asarray(years, dtype=_np.int64)
+            base_year = int(year_of.min())
+            span = int(year_of.max()) - base_year + 1
+            composite = (vid_sub.astype(_np.int64) * span
+                         + year_of[_ids_view(month)[sel]] - base_year)
+            sums = _np.bincount(composite,
+                                weights=_f64_view(miles)[sel],
+                                minlength=len(vehicles) * span)
+            return {(vehicles[key // span],
+                     key % span + base_year): float(sums[key])
+                    for key in _first_seen(composite)}
+        totals: dict[tuple[str, int], float] = {}
+        get = totals.get
+        for mid, vid, mo, cell_miles in zip(man.ids, vehicle.ids,
+                                            month.ids, miles):
+            if mid == target and vid >= 0:
+                name = vehicles[vid]
+                if name:
+                    key = (name, years[mo])
+                    totals[key] = get(key, 0.0) + cell_miles
+        return totals
+
+    def vehicle_year_disengagements(self, manufacturer: str,
+                                    ) -> dict[tuple[str, int], int]:
+        table = self._table("disengagements")
+        if table is None:
+            return super().vehicle_year_disengagements(manufacturer)
+        man = table.column("manufacturer")
+        vehicle = table.column("vehicle_id")
+        month = table.column("month")
+        if (not self._plain(man) or not self._plain(month)
+                or vehicle.exceptions):
+            return super().vehicle_year_disengagements(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return {}
+        vehicles = vehicle.pool.strings
+        years = self._year_map("disengagements")
+        if _np is not None:
+            sel, vid = self._vehicle_selection(man, vehicle, target)
+            vid_sub = vid[sel]
+            if vid_sub.size == 0:
+                return {}
+            year_of = _np.asarray(years, dtype=_np.int64)
+            base_year = int(year_of.min())
+            span = int(year_of.max()) - base_year + 1
+            composite = (vid_sub.astype(_np.int64) * span
+                         + year_of[_ids_view(month)[sel]] - base_year)
+            occurrences = _np.bincount(
+                composite, minlength=len(vehicles) * span)
+            return {(vehicles[key // span],
+                     key % span + base_year): int(occurrences[key])
+                    for key in _first_seen(composite)}
+        counts: dict[tuple[str, int], int] = {}
+        get = counts.get
+        for mid, vid, mo in zip(man.ids, vehicle.ids, month.ids):
+            if mid == target and vid >= 0:
+                name = vehicles[vid]
+                if name:
+                    key = (name, years[mo])
+                    counts[key] = get(key, 0) + 1
+        return counts
+
+    def tag_values(self, manufacturer: str,
+                   use_truth: bool = False) -> list:
+        table = self._table("disengagements")
+        if table is None:
+            return super().tag_values(manufacturer, use_truth)
+        man = table.column("manufacturer")
+        tags = table.column("truth_tag" if use_truth else "tag")
+        if not self._plain(man) or tags.exceptions:
+            return super().tag_values(manufacturer, use_truth)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return []
+        members = self._enum_map(
+            "disengagements", "truth_tag" if use_truth else "tag",
+            FaultTag)
+        if _np is not None:
+            tid_sub = _ids_view(tags)[_ids_view(man) == target]
+            return [members[tid]
+                    for tid in tid_sub[tid_sub >= 0].tolist()]
+        return [members[tid] for mid, tid in zip(man.ids, tags.ids)
+                if mid == target and tid >= 0]
+
+    def modality_values(self, manufacturer: str) -> list:
+        table = self._table("disengagements")
+        if table is None:
+            return super().modality_values(manufacturer)
+        man = table.column("manufacturer")
+        modality = table.column("modality")
+        if not self._plain(man) or modality.exceptions:
+            return super().modality_values(manufacturer)
+        target = man.pool.id_of(manufacturer)
+        if target < 0:
+            return []
+        members = self._enum_map("disengagements", "modality", Modality)
+        if _np is not None:
+            mod_sub = _ids_view(modality)[_ids_view(man) == target]
+            return [members[mod]
+                    for mod in mod_sub[mod_sub >= 0].tolist()]
+        return [members[mod]
+                for mid, mod in zip(man.ids, modality.ids)
+                if mid == target and mod >= 0]
+
+    # ------------------------------------------------------------------
+    # Index-build row streams.
+    # ------------------------------------------------------------------
+
+    def disengagement_index_rows(self) -> Iterator[tuple]:
+        table = self._table("disengagements")
+        if table is None:
+            yield from super().disengagement_index_rows()
+            return
+        man = table.column("manufacturer")
+        month = table.column("month")
+        tags = table.column("tag")
+        if (not self._plain(man) or not self._plain(month)
+                or tags.exceptions):
+            yield from super().disengagement_index_rows()
+            return
+        # Materializing here is fine: the columns were authoritative
+        # an instant ago, and the grouping keys come from the arrays.
+        records = self._records("disengagements")
+        names = man.pool.strings
+        months = month.pool.strings
+        members = self._enum_map("disengagements", "tag", FaultTag)
+        for record, mid, mo, tid in zip(records, man.ids, month.ids,
+                                        tags.ids):
+            yield (record, names[mid], months[mo],
+                   None if tid < 0 else members[tid])
+
+    def accident_index_rows(self) -> Iterator[tuple]:
+        table = self._table("accidents")
+        if table is None:
+            yield from super().accident_index_rows()
+            return
+        man = table.column("manufacturer")
+        if not self._plain(man):
+            yield from super().accident_index_rows()
+            return
+        records = self._records("accidents")
+        names = man.pool.strings
+        for record, mid in zip(records, man.ids):
+            yield record, names[mid]
+
+    def mileage_index_rows(self) -> Iterator[tuple]:
+        table = self._table("mileage")
+        if table is None:
+            yield from super().mileage_index_rows()
+            return
+        man = table.column("manufacturer")
+        month = table.column("month")
+        if not self._plain(man) or not self._plain(month):
+            yield from super().mileage_index_rows()
+            return
+        records = self._records("mileage")
+        names = man.pool.strings
+        months = month.pool.strings
+        for record, mid, mo, miles in zip(records, man.ids, month.ids,
+                                          table.column("miles")):
+            yield record, names[mid], months[mo], miles

@@ -1,0 +1,447 @@
+"""Column primitives: typed struct-of-arrays cells (stdlib only).
+
+A column stores one field of one table for *all* rows, packed into a
+:mod:`array` buffer instead of scattered across per-record dicts or
+dataclass instances.  Four packed kinds cover the corpus schema —
+
+* ``str``  — interned :class:`StringPool` ids (``array('i')``, ``-1``
+  for ``None``); repeated categoricals (manufacturer, month, tag)
+  cost 4 bytes per row plus one pooled copy of each distinct string.
+* ``f64``  — ``array('d')`` values plus an ``array('B')`` null mask.
+* ``i64``  — ``array('q')`` values plus a null mask.
+* ``bool`` — ``array('b')`` with ``-1`` encoding ``None``.
+* ``json`` — arbitrary JSON cells (e.g. ``time_of_day`` triples)
+  stored as compact JSON text interned in a pool.
+
+**Fidelity rule**: a column must reproduce the exact value it was
+fed, byte-for-byte under :func:`json.dumps` — the whole storage
+subsystem's parity guarantee rests on it.  A value whose JSON
+rendering could drift through the packed representation (an ``int``
+fed to a float column renders ``5``, not ``5.0``; a ``bool`` fed to
+an int column renders ``true``, not ``1``) is kept verbatim in the
+column's *exceptions* side table instead of being coerced.  Float
+subclasses (``numpy.float64``) are packed: CPython's JSON encoder
+renders any ``float`` instance via ``float.__repr__``, so packing is
+invisible to the serialized bytes.
+
+Columns expose their raw buffers via :meth:`memoryview` (zero-copy)
+and serialize to named byte segments for the on-disk format in
+:mod:`repro.storage.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from typing import Any, Iterator
+
+#: Recognized column kinds (schema vocabulary).
+COLUMN_KINDS = ("str", "f64", "i64", "bool", "json")
+
+
+def _compact_json(value: Any) -> str:
+    """Compact JSON that round-trips to an *equal* object.
+
+    Insertion order is preserved (no ``sort_keys``) so a dict cell
+    reloads with its keys in the original order — the payload
+    serializers are order-sensitive.
+    """
+    return json.dumps(value, ensure_ascii=False,
+                      separators=(",", ":"))
+
+
+class StringPool:
+    """Append-only interned string storage shared by a column.
+
+    ``intern`` is O(1) amortized; ids are dense and stable, so a
+    column of pool ids is a categorical encoding with the distinct
+    values stored exactly once.
+    """
+
+    __slots__ = ("strings", "_ids")
+
+    def __init__(self, strings: list[str] | None = None) -> None:
+        self.strings: list[str] = list(strings) if strings else []
+        self._ids: dict[str, int] = {
+            s: i for i, s in enumerate(self.strings)}
+
+    def intern(self, value: str) -> int:
+        """Id of ``value``, adding it to the pool if new."""
+        found = self._ids.get(value)
+        if found is not None:
+            return found
+        new_id = len(self.strings)
+        self.strings.append(value)
+        self._ids[value] = new_id
+        return new_id
+
+    def id_of(self, value: str) -> int:
+        """Id of ``value`` if pooled, else ``-1`` (never interns)."""
+        return self._ids.get(value, -1)
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    # -- io segments ---------------------------------------------------
+
+    def segments(self) -> list[tuple[str, bytes]]:
+        """``(name, bytes)`` pairs for the on-disk format."""
+        blob = "".join(self.strings).encode("utf-8")
+        ends = array("q")
+        total = 0
+        for s in self.strings:
+            total += len(s.encode("utf-8"))
+            ends.append(total)
+        return [("pool_ends", ends.tobytes()), ("pool_blob", blob)]
+
+    @classmethod
+    def from_segments(cls, segments: dict[str, bytes]) -> "StringPool":
+        """Rebuild a pool from its on-disk segments."""
+        ends = array("q")
+        ends.frombytes(segments["pool_ends"])
+        blob = segments["pool_blob"]
+        strings = []
+        start = 0
+        for end in ends:
+            strings.append(blob[start:end].decode("utf-8"))
+            start = end
+        return cls(strings)
+
+
+class _Exceptions:
+    """Shared verbatim side table: row -> original (unpacked) value."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: dict[int, Any] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.values)
+
+    def segment(self) -> bytes:
+        return _compact_json(
+            {str(row): value
+             for row, value in sorted(self.values.items())}
+        ).encode("utf-8")
+
+    def load(self, data: bytes) -> None:
+        self.values = {int(row): value
+                       for row, value in json.loads(data).items()}
+
+
+class StringColumn:
+    """Pool-id encoded string column (``-1`` = ``None``)."""
+
+    KIND = "str"
+    __slots__ = ("ids", "pool", "exceptions", "null_count")
+
+    def __init__(self) -> None:
+        self.ids = array("i")
+        self.pool = StringPool()
+        self.exceptions = _Exceptions()
+        self.null_count = 0
+
+    def append(self, value: Any) -> None:
+        """Append one cell (``None``, a string, or verbatim fallback)."""
+        if value is None:
+            self.ids.append(-1)
+            self.null_count += 1
+        elif isinstance(value, str):
+            self.ids.append(self.pool.intern(value))
+        else:
+            self.exceptions.values[len(self.ids)] = value
+            self.ids.append(-1)
+
+    def get(self, row: int) -> Any:
+        """The exact value ``append`` was fed for ``row``."""
+        if self.exceptions and row in self.exceptions.values:
+            return self.exceptions.values[row]
+        pooled = self.ids[row]
+        return None if pooled < 0 else self.pool.strings[pooled]
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[Any]:
+        strings = self.pool.strings
+        if not self.exceptions:
+            for pooled in self.ids:
+                yield None if pooled < 0 else strings[pooled]
+        else:
+            for row in range(len(self.ids)):
+                yield self.get(row)
+
+    def unique(self) -> set[str]:
+        """Distinct non-null string values (O(pool), not O(rows))."""
+        present = {s for s in self.pool.strings}
+        present.update(v for v in self.exceptions.values.values()
+                       if isinstance(v, str))
+        return present
+
+    def memoryview(self) -> memoryview:
+        """Zero-copy view of the packed pool-id buffer."""
+        return memoryview(self.ids)
+
+    def segments(self) -> list[tuple[str, bytes]]:
+        """``(name, bytes)`` pairs for the on-disk format."""
+        return ([("ids", self.ids.tobytes())]
+                + self.pool.segments()
+                + [("exceptions", self.exceptions.segment())])
+
+    @classmethod
+    def from_segments(cls, segments: dict[str, bytes]) -> "StringColumn":
+        """Rebuild a column from its on-disk segments."""
+        column = cls()
+        column.ids.frombytes(segments["ids"])
+        column.pool = StringPool.from_segments(segments)
+        column.exceptions.load(segments["exceptions"])
+        column.null_count = (sum(1 for i in column.ids if i < 0)
+                             - len(column.exceptions.values))
+        return column
+
+
+class JsonColumn(StringColumn):
+    """Arbitrary JSON cells, stored as interned compact JSON text.
+
+    Reuses the pooled-string machinery; ``append``/``get`` translate
+    between live objects and their canonical text.  Fidelity: compact
+    ``json.dumps`` without key sorting round-trips any value the
+    payload serializers accept to an equal object.
+    """
+
+    KIND = "json"
+    __slots__ = ()
+
+    def append(self, value: Any) -> None:
+        """Append one JSON cell (interned as canonical compact text)."""
+        if value is None:
+            self.ids.append(-1)
+            self.null_count += 1
+        else:
+            self.ids.append(self.pool.intern(_compact_json(value)))
+
+    def get(self, row: int) -> Any:
+        """The cell at ``row``, reloaded to an equal live object."""
+        pooled = self.ids[row]
+        return None if pooled < 0 else json.loads(
+            self.pool.strings[pooled])
+
+    def __iter__(self) -> Iterator[Any]:
+        strings = self.pool.strings
+        for pooled in self.ids:
+            yield None if pooled < 0 else json.loads(strings[pooled])
+
+    def unique(self) -> set[str]:  # pragma: no cover - not categorical
+        raise TypeError("json columns have no string universe")
+
+
+class FloatColumn:
+    """``array('d')`` column with a null mask and verbatim exceptions."""
+
+    KIND = "f64"
+    __slots__ = ("values", "mask", "exceptions", "null_count")
+
+    def __init__(self) -> None:
+        self.values = array("d")
+        self.mask = array("B")  # 1 = null (or exception) at this row
+        self.exceptions = _Exceptions()
+        self.null_count = 0
+
+    def append(self, value: Any) -> None:
+        """Append one cell; non-floats go verbatim to the side table."""
+        if isinstance(value, float):
+            # Covers numpy.float64 (a float subclass): packing to a C
+            # double is exact and JSON-invisible.
+            self.values.append(value)
+            self.mask.append(0)
+            return
+        if value is not None:
+            # int (renders without the decimal point) or any exotic
+            # type: keep the original object verbatim.
+            self.exceptions.values[len(self.values)] = value
+        else:
+            self.null_count += 1
+        self.values.append(0.0)
+        self.mask.append(1)
+
+    def get(self, row: int) -> Any:
+        """The exact value ``append`` was fed for ``row``."""
+        if not self.mask[row]:
+            return self.values[row]
+        return self.exceptions.values.get(row)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        if not self.null_count and not self.exceptions:
+            yield from self.values
+        else:
+            for row in range(len(self.values)):
+                yield self.get(row)
+
+    def memoryview(self) -> memoryview:
+        """Zero-copy view of the packed float64 buffer."""
+        return memoryview(self.values)
+
+    def segments(self) -> list[tuple[str, bytes]]:
+        """``(name, bytes)`` pairs for the on-disk format."""
+        return [("values", self.values.tobytes()),
+                ("mask", self.mask.tobytes()),
+                ("exceptions", self.exceptions.segment())]
+
+    @classmethod
+    def from_segments(cls, segments: dict[str, bytes]) -> "FloatColumn":
+        """Rebuild a column from its on-disk segments."""
+        column = cls()
+        column.values.frombytes(segments["values"])
+        column.mask.frombytes(segments["mask"])
+        column.exceptions.load(segments["exceptions"])
+        column.null_count = (sum(column.mask)
+                             - len(column.exceptions.values))
+        return column
+
+
+class IntColumn:
+    """``array('q')`` column with a null mask and verbatim exceptions."""
+
+    KIND = "i64"
+    __slots__ = ("values", "mask", "exceptions", "null_count")
+
+    def __init__(self) -> None:
+        self.values = array("q")
+        self.mask = array("B")
+        self.exceptions = _Exceptions()
+        self.null_count = 0
+
+    def append(self, value: Any) -> None:
+        """Append one cell; bools and huge ints go verbatim."""
+        # bool is an int subclass but renders true/false: exception.
+        if isinstance(value, int) and not isinstance(value, bool):
+            try:
+                self.values.append(value)
+                self.mask.append(0)
+                return
+            except OverflowError:  # > 64-bit: keep verbatim
+                pass
+        if value is not None:
+            self.exceptions.values[len(self.values)] = value
+        else:
+            self.null_count += 1
+        self.values.append(0)
+        self.mask.append(1)
+
+    def get(self, row: int) -> Any:
+        """The exact value ``append`` was fed for ``row``."""
+        if not self.mask[row]:
+            return self.values[row]
+        return self.exceptions.values.get(row)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        if not self.null_count and not self.exceptions:
+            yield from self.values
+        else:
+            for row in range(len(self.values)):
+                yield self.get(row)
+
+    def memoryview(self) -> memoryview:
+        """Zero-copy view of the packed int64 buffer."""
+        return memoryview(self.values)
+
+    def segments(self) -> list[tuple[str, bytes]]:
+        """``(name, bytes)`` pairs for the on-disk format."""
+        return [("values", self.values.tobytes()),
+                ("mask", self.mask.tobytes()),
+                ("exceptions", self.exceptions.segment())]
+
+    @classmethod
+    def from_segments(cls, segments: dict[str, bytes]) -> "IntColumn":
+        """Rebuild a column from its on-disk segments."""
+        column = cls()
+        column.values.frombytes(segments["values"])
+        column.mask.frombytes(segments["mask"])
+        column.exceptions.load(segments["exceptions"])
+        column.null_count = (sum(column.mask)
+                             - len(column.exceptions.values))
+        return column
+
+
+class BoolColumn:
+    """``array('b')`` column: 0/1 values, ``-1`` nulls, exceptions."""
+
+    KIND = "bool"
+    __slots__ = ("values", "exceptions")
+
+    def __init__(self) -> None:
+        self.values = array("b")
+        self.exceptions = _Exceptions()
+
+    def append(self, value: Any) -> None:
+        """Append one cell; non-bool truthy values go verbatim."""
+        if isinstance(value, bool):
+            self.values.append(1 if value else 0)
+        elif value is None:
+            self.values.append(-1)
+        else:
+            # 0/1 ints, numpy.bool_, ...: render differently — verbatim.
+            self.exceptions.values[len(self.values)] = value
+            self.values.append(-1)
+
+    def get(self, row: int) -> Any:
+        """The exact value ``append`` was fed for ``row``."""
+        if self.exceptions and row in self.exceptions.values:
+            return self.exceptions.values[row]
+        packed = self.values[row]
+        return None if packed < 0 else bool(packed)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        if not self.exceptions:
+            for packed in self.values:
+                yield None if packed < 0 else bool(packed)
+        else:
+            for row in range(len(self.values)):
+                yield self.get(row)
+
+    def memoryview(self) -> memoryview:
+        """Zero-copy view of the packed byte buffer."""
+        return memoryview(self.values)
+
+    def segments(self) -> list[tuple[str, bytes]]:
+        """``(name, bytes)`` pairs for the on-disk format."""
+        return [("values", self.values.tobytes()),
+                ("exceptions", self.exceptions.segment())]
+
+    @classmethod
+    def from_segments(cls, segments: dict[str, bytes]) -> "BoolColumn":
+        """Rebuild a column from its on-disk segments."""
+        column = cls()
+        column.values.frombytes(segments["values"])
+        column.exceptions.load(segments["exceptions"])
+        return column
+
+
+#: Kind name -> column class.
+COLUMN_TYPES = {
+    "str": StringColumn,
+    "f64": FloatColumn,
+    "i64": IntColumn,
+    "bool": BoolColumn,
+    "json": JsonColumn,
+}
+
+
+def make_column(kind: str):
+    """Instantiate a fresh column of one schema kind."""
+    try:
+        return COLUMN_TYPES[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown column kind {kind!r}; "
+            f"expected one of {COLUMN_KINDS}") from None

@@ -1,0 +1,240 @@
+"""Binary on-disk format for columnar databases.
+
+Layout (all offsets from the file start)::
+
+    8 bytes   magic ``RPROCOL1``
+    8 bytes   header length ``H`` (little-endian uint64)
+    H bytes   header: compact JSON (sorted keys, UTF-8) describing the
+              container — format revision, host byte order, per-table
+              schema versions, and the name/byte-length of every
+              column segment in body order; quarantine entries ride
+              inline here (they are rare and tiny)
+    rest      the raw column segments, concatenated in header order
+              (``array.tobytes`` buffers + JSON exception side tables)
+
+The header is self-describing enough to reject, loudly and with a
+:class:`~repro.errors.CorruptDatabaseError`, anything this build
+cannot decode faithfully: unknown format revisions, schema-version
+drift, a file written on a host with the opposite byte order, or
+truncated/overrun segments.  Writes go through the same
+write-temp + fsync + ``os.replace`` primitive as every other artifact
+in the repo, with a ``sha256sum``-compatible sidecar that loads verify
+first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..errors import CorruptDatabaseError
+from ..pipeline.checkpoint import atomic_write_text
+from ..pipeline.resilience import Quarantine, QuarantineEntry
+from ..pipeline.store import FailureDatabase, _sidecar_path
+from .backend import TABLE_NAMES, ColumnarFailureDatabase
+from .columns import COLUMN_TYPES
+from .schema import STORAGE_FORMAT, TABLE_SCHEMAS
+from .table import ColumnTable
+
+#: File magic: repro columnar, container revision 1.
+MAGIC = b"RPROCOL1"
+
+_LENGTH = struct.Struct("<Q")
+
+
+def _columnar(db: FailureDatabase) -> ColumnarFailureDatabase:
+    """A columnar view of ``db`` whose tables are authoritative."""
+    if isinstance(db, ColumnarFailureDatabase) and not db._materialized:
+        return db
+    return ColumnarFailureDatabase.from_database(db)
+
+
+def encode_columnar(db: FailureDatabase) -> bytes:
+    """Serialize any database to the binary columnar format."""
+    source = _columnar(db)
+    tables_meta: list[dict[str, Any]] = []
+    body: list[bytes] = []
+    for name in TABLE_NAMES:
+        table = source.tables[name]
+        columns_meta = []
+        for spec in table.schema.columns:
+            column = table.column(spec.name)
+            segments_meta = []
+            for segment_name, payload in column.segments():
+                segments_meta.append({"name": segment_name,
+                                      "length": len(payload)})
+                body.append(payload)
+            columns_meta.append({"name": spec.name, "kind": spec.kind,
+                                 "segments": segments_meta})
+        tables_meta.append({
+            "name": name,
+            "version": table.schema.version,
+            "rows": len(table),
+            "columns": columns_meta,
+        })
+    header = {
+        "format": STORAGE_FORMAT,
+        "byteorder": sys.byteorder,
+        "tables": tables_meta,
+        "quarantine": [entry.to_dict()
+                       for entry in source.quarantine],
+    }
+    header_bytes = json.dumps(
+        header, ensure_ascii=False, sort_keys=True,
+        separators=(",", ":")).encode("utf-8")
+    return b"".join([MAGIC, _LENGTH.pack(len(header_bytes)),
+                     header_bytes, *body])
+
+
+def decode_columnar(blob: bytes, *,
+                    source: str | Path | None = None,
+                    ) -> ColumnarFailureDatabase:
+    """Inverse of :func:`encode_columnar` (typed errors on damage)."""
+    path = str(source) if source is not None else None
+
+    def corrupt(reason: str) -> CorruptDatabaseError:
+        return CorruptDatabaseError(
+            f"columnar database is corrupt: {reason}",
+            path=path, reason=reason)
+
+    if len(blob) < len(MAGIC) + _LENGTH.size:
+        raise corrupt(f"file too short ({len(blob)} bytes)")
+    if blob[:len(MAGIC)] != MAGIC:
+        raise corrupt(f"bad magic {blob[:len(MAGIC)]!r}")
+    (header_len,) = _LENGTH.unpack_from(blob, len(MAGIC))
+    offset = len(MAGIC) + _LENGTH.size
+    if offset + header_len > len(blob):
+        raise corrupt("header overruns the file")
+    try:
+        header = json.loads(blob[offset:offset + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise corrupt(f"header is not valid JSON: {exc}") from exc
+    offset += header_len
+
+    if header.get("format") != STORAGE_FORMAT:
+        raise corrupt(f"unsupported format revision "
+                      f"{header.get('format')!r} "
+                      f"(this build reads {STORAGE_FORMAT})")
+    if header.get("byteorder") != sys.byteorder:
+        raise corrupt(f"written on a {header.get('byteorder')!r}-endian "
+                      f"host, this host is {sys.byteorder!r}-endian")
+
+    tables_meta = header.get("tables")
+    if not isinstance(tables_meta, list):
+        raise corrupt("header has no table list")
+    tables: dict[str, ColumnTable] = {}
+    for table_meta in tables_meta:
+        name = table_meta.get("name")
+        schema = TABLE_SCHEMAS.get(name)
+        if schema is None:
+            raise corrupt(f"unknown table {name!r}")
+        if table_meta.get("version") != schema.version:
+            raise corrupt(
+                f"table {name!r} schema v{table_meta.get('version')!r} "
+                f"does not match this build's v{schema.version}")
+        table = ColumnTable(schema)
+        rows = table_meta.get("rows", 0)
+        columns_meta = table_meta.get("columns", [])
+        if ([  # column layout must match the schema exactly
+                (c.get("name"), c.get("kind")) for c in columns_meta]
+                != [(s.name, s.kind) for s in schema.columns]):
+            raise corrupt(f"table {name!r} column layout does not "
+                          f"match its schema")
+        for column_meta in columns_meta:
+            segments: dict[str, bytes] = {}
+            for segment_meta in column_meta.get("segments", []):
+                length = segment_meta.get("length")
+                if (not isinstance(length, int) or length < 0
+                        or offset + length > len(blob)):
+                    raise corrupt(
+                        f"segment {segment_meta.get('name')!r} of "
+                        f"{name}.{column_meta['name']} overruns the "
+                        f"file")
+                segments[segment_meta["name"]] = \
+                    blob[offset:offset + length]
+                offset += length
+            try:
+                column = COLUMN_TYPES[column_meta["kind"]] \
+                    .from_segments(segments)
+            except Exception as exc:
+                raise corrupt(
+                    f"column {name}.{column_meta['name']} could not "
+                    f"be decoded: {type(exc).__name__}: {exc}") from exc
+            if len(column) != rows:
+                raise corrupt(
+                    f"column {name}.{column_meta['name']} has "
+                    f"{len(column)} rows, table declares {rows}")
+            table.columns[column_meta["name"]] = column
+        table.rows_count = rows
+        tables[name] = table
+    if set(tables) != set(TABLE_NAMES):
+        raise corrupt(f"expected tables {TABLE_NAMES}, "
+                      f"file has {sorted(tables)}")
+
+    try:
+        quarantine = Quarantine(entries=[
+            QuarantineEntry.from_dict(entry)
+            for entry in header.get("quarantine", [])])
+    except Exception as exc:
+        raise corrupt(f"quarantine entries could not be decoded: "
+                      f"{exc}") from exc
+    return ColumnarFailureDatabase(tables=tables, quarantine=quarantine)
+
+
+def save_columnar(db: FailureDatabase, path: str | Path, *,
+                  durable: bool = True, checksum: bool = True,
+                  crash: Any = None) -> None:
+    """Write ``db`` to ``path`` in binary columnar form — atomically.
+
+    Mirrors :meth:`FailureDatabase.save`: temp-file + fsync +
+    ``os.replace`` commit, optional ``<name>.sha256`` sidecar, and the
+    same ``save`` kill point for crash-recovery testing.
+    """
+    path = Path(path)
+    blob = encode_columnar(db)
+    atomic_write_text(
+        path, blob, durable=durable,
+        crash_hook=(None if crash is None
+                    else lambda: crash.reached("save")))
+    if checksum:
+        atomic_write_text(
+            _sidecar_path(path),
+            f"{hashlib.sha256(blob).hexdigest()}  {path.name}\n",
+            durable=durable)
+
+
+def load_columnar(path: str | Path, *,
+                  verify_checksum: bool = True,
+                  ) -> ColumnarFailureDatabase:
+    """Read a database written with :func:`save_columnar`."""
+    path = Path(path)
+    blob = path.read_bytes()
+    sidecar = _sidecar_path(path)
+    if verify_checksum and sidecar.exists():
+        expected = sidecar.read_text(encoding="utf-8").split()
+        if not expected or hashlib.sha256(blob).hexdigest() \
+                != expected[0]:
+            raise CorruptDatabaseError(
+                f"columnar database file {path} does not match its "
+                ".sha256 sidecar",
+                path=str(path), reason="checksum mismatch")
+    return decode_columnar(blob, source=path)
+
+
+def detect_storage_format(path: str | Path) -> str:
+    """``"columnar"`` or ``"json"``, sniffed from the file magic."""
+    with open(path, "rb") as handle:
+        prefix = handle.read(len(MAGIC))
+    return "columnar" if prefix == MAGIC else "json"
+
+
+def load_any(path: str | Path, *,
+             verify_checksum: bool = True) -> FailureDatabase:
+    """Load a database in whichever format the file is in."""
+    if detect_storage_format(path) == "columnar":
+        return load_columnar(path, verify_checksum=verify_checksum)
+    return FailureDatabase.load(path, verify_checksum=verify_checksum)

@@ -1,0 +1,123 @@
+"""Versioned per-table schemas for the columnar corpus.
+
+Each table schema lists its columns **in the exact key order the
+record's ``to_dict`` emits them** — payload reconstruction walks the
+schema, so this ordering is what keeps the columnar ``to_json`` bytes
+identical to the dict path's.  Bumping a record's dict shape means
+bumping that table's ``version`` so old binary files are rejected
+loudly instead of decoded wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .columns import COLUMN_KINDS
+
+#: Container format revision (the binary envelope in ``io.py``).
+STORAGE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One field of one table: name + packed column kind."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in COLUMN_KINDS:
+            raise ValueError(
+                f"column {self.name!r} has unknown kind "
+                f"{self.kind!r}; expected one of {COLUMN_KINDS}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered column layout of one corpus table."""
+
+    name: str
+    version: int
+    columns: tuple[ColumnSpec, ...]
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.columns)
+
+
+#: Mirrors ``DisengagementRecord.to_dict`` key order exactly.
+DISENGAGEMENT_SCHEMA = TableSchema(
+    name="disengagements",
+    version=1,
+    columns=(
+        ColumnSpec("manufacturer", "str"),
+        ColumnSpec("month", "str"),
+        ColumnSpec("event_date", "str"),      # ISO date text
+        ColumnSpec("time_of_day", "json"),    # [h, m, s] or null
+        ColumnSpec("vehicle_id", "str"),
+        ColumnSpec("modality", "str"),        # Modality.value
+        ColumnSpec("road_type", "str"),
+        ColumnSpec("weather", "str"),
+        ColumnSpec("reaction_time_s", "f64"),
+        ColumnSpec("description", "str"),
+        ColumnSpec("tag", "str"),             # FaultTag.value
+        ColumnSpec("category", "str"),        # FailureCategory.value
+        ColumnSpec("truth_tag", "str"),
+        ColumnSpec("source_document", "str"),
+        ColumnSpec("source_line", "i64"),
+    ),
+)
+
+#: Mirrors ``AccidentRecord.to_dict`` key order exactly.
+ACCIDENT_SCHEMA = TableSchema(
+    name="accidents",
+    version=1,
+    columns=(
+        ColumnSpec("manufacturer", "str"),
+        ColumnSpec("event_date", "str"),
+        ColumnSpec("month", "str"),
+        ColumnSpec("location", "str"),
+        ColumnSpec("autonomous_at_collision", "bool"),
+        ColumnSpec("disengaged_before_collision", "bool"),
+        ColumnSpec("av_speed_mph", "f64"),
+        ColumnSpec("other_speed_mph", "f64"),
+        ColumnSpec("collision_type", "str"),
+        ColumnSpec("injuries", "bool"),
+        ColumnSpec("redacted", "bool"),
+        ColumnSpec("vehicle_id", "str"),
+        ColumnSpec("description", "str"),
+        ColumnSpec("source_document", "str"),
+    ),
+)
+
+#: Mirrors ``MonthlyMileage.to_dict`` key order exactly.
+MILEAGE_SCHEMA = TableSchema(
+    name="mileage",
+    version=1,
+    columns=(
+        ColumnSpec("manufacturer", "str"),
+        ColumnSpec("month", "str"),
+        ColumnSpec("miles", "f64"),
+        ColumnSpec("vehicle_id", "str"),
+    ),
+)
+
+#: Mirrors ``QuarantineEntry.to_dict`` key order exactly.
+QUARANTINE_SCHEMA = TableSchema(
+    name="quarantine",
+    version=1,
+    columns=(
+        ColumnSpec("unit_id", "str"),
+        ColumnSpec("stage", "str"),
+        ColumnSpec("error_type", "str"),
+        ColumnSpec("message", "str"),
+        ColumnSpec("traceback", "str"),
+    ),
+)
+
+#: Table name -> schema, in payload section order.
+TABLE_SCHEMAS = {
+    schema.name: schema
+    for schema in (DISENGAGEMENT_SCHEMA, ACCIDENT_SCHEMA,
+                   MILEAGE_SCHEMA, QUARANTINE_SCHEMA)
+}

@@ -1,0 +1,67 @@
+"""One columnar table: a schema plus its struct-of-arrays columns."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .columns import make_column
+from .schema import TableSchema
+
+
+class ColumnTable:
+    """Rows of one record type stored column-wise.
+
+    ``append_row``/``row`` speak the record ``to_dict`` payload shape,
+    so the table round-trips the exact dicts the JSON path serializes
+    — ``row(i)`` rebuilds keys in schema (== ``to_dict``) order.
+    """
+
+    __slots__ = ("schema", "columns", "rows_count")
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.columns = {spec.name: make_column(spec.kind)
+                        for spec in schema.columns}
+        self.rows_count = 0
+
+    def __len__(self) -> int:
+        return self.rows_count
+
+    def append_row(self, row: dict[str, Any]) -> None:
+        """Append one record-payload dict.
+
+        The key set must match the schema exactly: a silently dropped
+        or defaulted field would break byte parity, so mismatches are
+        a hard error.
+        """
+        if row.keys() != self.columns.keys():
+            unexpected = sorted(row.keys() - self.columns.keys())
+            missing = sorted(self.columns.keys() - row.keys())
+            raise ValueError(
+                f"row does not match {self.schema.name!r} schema "
+                f"v{self.schema.version} (unexpected={unexpected}, "
+                f"missing={missing})")
+        for name, column in self.columns.items():
+            column.append(row[name])
+        self.rows_count += 1
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Rebuild row ``index`` as its ``to_dict`` payload."""
+        return {spec.name: self.columns[spec.name].get(index)
+                for spec in self.schema.columns}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """All rows in order, each in ``to_dict`` payload form."""
+        names = self.schema.column_names
+        iterators = [iter(self.columns[name]) for name in names]
+        for values in zip(*iterators):
+            yield dict(zip(names, values))
+
+    def column(self, name: str):
+        """The backing column object for one field."""
+        return self.columns[name]
+
+    def extend(self, rows: Iterator[dict[str, Any]] | list) -> None:
+        """Append every payload dict in ``rows``, in order."""
+        for row in rows:
+            self.append_row(row)

@@ -1,0 +1,476 @@
+"""Columnar storage subsystem: parity, io robustness, compactness.
+
+The tentpole guarantee under test: a
+:class:`~repro.storage.ColumnarFailureDatabase` is observationally
+identical to the dict-backed database it was built from — same
+``to_json`` bytes, same fingerprint, same scan results — whatever mix
+of populated, ``None``, and numpy-typed fields the records carry.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from datetime import date
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptDatabaseError
+from repro.parsing.records import (
+    AccidentRecord,
+    DisengagementRecord,
+    MonthlyMileage,
+)
+from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.parallel import UnitOutcome
+from repro.pipeline.resilience import Quarantine, QuarantineEntry
+from repro.pipeline.store import FailureDatabase
+from repro.storage import (
+    BoolColumn,
+    ColumnarFailureDatabase,
+    FloatColumn,
+    IntColumn,
+    JsonColumn,
+    StringColumn,
+    decode_columnar,
+    detect_storage_format,
+    encode_columnar,
+    load_any,
+    load_columnar,
+    save_columnar,
+)
+from repro.storage.io import MAGIC
+from repro.taxonomy import FailureCategory, FaultTag, Modality
+
+
+def _full_disengagement() -> DisengagementRecord:
+    """Every optional field populated."""
+    return DisengagementRecord(
+        manufacturer="Waymo", month="2016-03",
+        event_date=date(2016, 3, 14), time_of_day=(9, 30, 0),
+        vehicle_id="AV-017", modality=Modality.AUTOMATIC,
+        road_type="highway", weather="clear", reaction_time_s=0.82,
+        description="perception failure near merge",
+        tag=FaultTag.SOFTWARE, category=FailureCategory.SYSTEM,
+        truth_tag=FaultTag.SOFTWARE,
+        source_document="waymo-2016-03", source_line=12)
+
+
+def _sparse_disengagement() -> DisengagementRecord:
+    """Every optional field absent (the Table I dashes)."""
+    return DisengagementRecord(
+        manufacturer="Bosch", month="2015-11",
+        description="manual takeover")
+
+
+def _mixed_database() -> FailureDatabase:
+    """Small corpus exercising every field and every null pattern."""
+    return FailureDatabase(
+        disengagements=[
+            _full_disengagement(),
+            _sparse_disengagement(),
+            DisengagementRecord(
+                manufacturer="Waymo", month="2016-04",
+                vehicle_id="", reaction_time_s=1.5,
+                description="empty vehicle id is not None",
+                tag=FaultTag.PLANNER,
+                category=FailureCategory.UNKNOWN),
+        ],
+        accidents=[
+            AccidentRecord(
+                manufacturer="Cruise", event_date=date(2016, 5, 2),
+                month="2016-05", location="Main St and 1st Ave",
+                autonomous_at_collision=True,
+                disengaged_before_collision=False,
+                av_speed_mph=12.0, other_speed_mph=17.5,
+                collision_type="rear-end", injuries=False,
+                redacted=True, vehicle_id="C-3",
+                description="struck while stopped",
+                source_document="cruise-ol316-7"),
+            AccidentRecord(manufacturer="Cruise"),
+        ],
+        mileage=[
+            MonthlyMileage("Waymo", "2016-03", 1234.5, "AV-017"),
+            MonthlyMileage("Waymo", "2016-04", 980.0, None),
+            MonthlyMileage("Bosch", "2015-11", 0.0, "B-1"),
+        ],
+        quarantine=Quarantine(entries=[
+            QuarantineEntry(
+                unit_id="doc-9:4", stage="parse",
+                error_type="ParseError", message="bad month cell",
+                traceback="Traceback...\nParseError: bad month cell"),
+        ]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Round-trip parity.
+# ----------------------------------------------------------------------
+
+class TestRoundTripParity:
+    def test_json_bytes_identical(self):
+        base = _mixed_database()
+        columnar = ColumnarFailureDatabase.from_database(base)
+        assert columnar.to_json() == base.to_json()
+
+    def test_fingerprint_identical(self):
+        base = _mixed_database()
+        columnar = ColumnarFailureDatabase.from_database(base)
+        assert columnar.fingerprint() == base.fingerprint()
+
+    def test_every_field_survives_materialization(self):
+        base = _mixed_database()
+        columnar = ColumnarFailureDatabase.from_database(base)
+        for original, restored in zip(base.disengagements,
+                                      columnar.disengagements):
+            assert restored.to_dict() == original.to_dict()
+            assert restored == original
+        for original, restored in zip(base.accidents,
+                                      columnar.accidents):
+            assert restored == original
+        for original, restored in zip(base.mileage, columnar.mileage):
+            assert restored == original
+
+    def test_quarantine_survives(self):
+        base = _mixed_database()
+        columnar = ColumnarFailureDatabase.from_database(base)
+        assert [e.to_dict() for e in columnar.quarantine] \
+            == [e.to_dict() for e in base.quarantine]
+
+    def test_from_json_round_trip(self):
+        text = _mixed_database().to_json()
+        columnar = ColumnarFailureDatabase.from_json(text)
+        assert columnar.to_json() == text
+
+    def test_binary_round_trip(self):
+        base = _mixed_database()
+        decoded = decode_columnar(encode_columnar(base))
+        assert decoded.to_json() == base.to_json()
+        assert decoded.fingerprint() == base.fingerprint()
+
+    def test_numpy_float_reaction_time(self):
+        # numpy.float64 is a float subclass: it packs into the f64
+        # column and stdlib json renders it via float.__repr__, so
+        # the serialized bytes cannot drift.  (Fingerprints are not
+        # compared here: the orjson fast path rejects numpy scalars,
+        # which is an encoder property, not a storage one.)
+        record = _full_disengagement()
+        record.reaction_time_s = np.float64(0.75)
+        base = FailureDatabase(disengagements=[record])
+        columnar = ColumnarFailureDatabase.from_database(base)
+        assert json.dumps(columnar._payload()) \
+            == json.dumps(base._payload())
+        assert columnar.reaction_times("Waymo") == [0.75]
+
+    def test_to_database_is_independent(self):
+        columnar = ColumnarFailureDatabase.from_database(
+            _mixed_database())
+        plain = columnar.to_database()
+        assert type(plain) is FailureDatabase
+        assert plain.to_json() == columnar.to_json()
+        plain.disengagements.pop()
+        assert len(columnar.disengagements) == 3
+
+
+# ----------------------------------------------------------------------
+# Column primitives: the fidelity rule.
+# ----------------------------------------------------------------------
+
+class TestColumnFidelity:
+    def test_int_in_float_column_kept_verbatim(self):
+        column = FloatColumn()
+        column.append(5)
+        assert column.get(0) == 5
+        assert isinstance(column.get(0), int)
+        assert json.dumps(column.get(0)) == "5"  # not "5.0"
+
+    def test_bool_in_int_column_kept_verbatim(self):
+        column = IntColumn()
+        column.append(True)
+        assert column.get(0) is True
+
+    def test_huge_int_kept_verbatim(self):
+        column = IntColumn()
+        column.append(2 ** 80)
+        column.append(7)
+        assert column.get(0) == 2 ** 80
+        assert column.get(1) == 7
+
+    def test_numpy_bool_in_bool_column_kept_verbatim(self):
+        column = BoolColumn()
+        column.append(np.bool_(True))
+        assert isinstance(column.get(0), np.bool_)
+
+    def test_string_column_none_vs_empty(self):
+        column = StringColumn()
+        column.append(None)
+        column.append("")
+        assert column.get(0) is None
+        assert column.get(1) == ""
+        assert column.null_count == 1
+
+    def test_json_column_preserves_key_order(self):
+        column = JsonColumn()
+        column.append({"b": 1, "a": 2})
+        assert json.dumps(column.get(0)) == '{"b": 1, "a": 2}'
+
+    def test_column_segment_round_trips(self):
+        for column, values in (
+                (StringColumn(), ["x", None, "y", 3]),
+                (JsonColumn(), [[1, 2, 3], None, {"k": "v"}]),
+                (FloatColumn(), [1.5, None, 2, -0.0]),
+                (IntColumn(), [4, None, True, 2 ** 70]),
+                (BoolColumn(), [True, False, None, 1])):
+            for value in values:
+                column.append(value)
+            segments = dict(column.segments())
+            restored = type(column).from_segments(segments)
+            assert [restored.get(i) for i in range(len(values))] \
+                == [column.get(i) for i in range(len(values))]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: fingerprints are format-independent.
+# ----------------------------------------------------------------------
+
+months = st.tuples(
+    st.integers(2014, 2017), st.integers(1, 12)).map(
+    lambda ym: f"{ym[0]:04d}-{ym[1]:02d}")
+names = st.sampled_from(["Waymo", "Bosch", "Nissan", "Delphi"])
+texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40)
+
+
+@st.composite
+def disengagement_records(draw):
+    return DisengagementRecord(
+        manufacturer=draw(names), month=draw(months),
+        time_of_day=draw(st.one_of(st.none(), st.tuples(
+            st.integers(0, 23), st.integers(0, 59),
+            st.integers(0, 59)))),
+        vehicle_id=draw(st.one_of(st.none(), texts)),
+        modality=draw(st.one_of(st.none(), st.sampled_from(Modality))),
+        reaction_time_s=draw(st.one_of(st.none(), st.floats(
+            min_value=0.0, max_value=60.0, allow_nan=False))),
+        description=draw(texts),
+        tag=draw(st.one_of(st.none(), st.sampled_from(FaultTag))),
+        source_line=draw(st.one_of(st.none(), st.integers(0, 10000))))
+
+
+@st.composite
+def mileage_cells(draw):
+    return MonthlyMileage(
+        manufacturer=draw(names), month=draw(months),
+        miles=draw(st.floats(min_value=0.0, max_value=1e6,
+                             allow_nan=False)),
+        vehicle_id=draw(st.one_of(st.none(), texts)))
+
+
+class TestFingerprintFormatIndependence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(disengagement_records(), max_size=8),
+           st.lists(mileage_cells(), max_size=8))
+    def test_columnar_equals_dict(self, records, cells):
+        base = FailureDatabase(disengagements=records, mileage=cells)
+        columnar = ColumnarFailureDatabase.from_database(base)
+        assert columnar.fingerprint() == base.fingerprint()
+        assert columnar.to_json() == base.to_json()
+        reloaded = decode_columnar(encode_columnar(base))
+        assert reloaded.fingerprint() == base.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Scan-hook parity against the session pipeline database.
+# ----------------------------------------------------------------------
+
+class TestScanParity:
+    @pytest.fixture(scope="class")
+    def pair(self, small_db):
+        return small_db, ColumnarFailureDatabase.from_database(small_db)
+
+    def test_aggregates(self, pair):
+        base, columnar = pair
+        assert columnar.manufacturers() == base.manufacturers()
+        assert columnar.total_miles == base.total_miles
+        assert columnar.miles_by_manufacturer() \
+            == base.miles_by_manufacturer()
+        # Insertion order is part of the contract, not just content.
+        assert list(columnar.miles_by_manufacturer()) \
+            == list(base.miles_by_manufacturer())
+
+    def test_per_manufacturer_scans(self, pair):
+        base, columnar = pair
+        for name in base.manufacturers() + ["NoSuchManufacturer"]:
+            assert columnar.monthly_miles(name) \
+                == base.monthly_miles(name)
+            assert columnar.monthly_disengagements(name) \
+                == base.monthly_disengagements(name)
+            assert columnar.vehicle_miles(name) \
+                == base.vehicle_miles(name)
+            assert columnar.vehicle_disengagements(name) \
+                == base.vehicle_disengagements(name)
+            assert columnar.reaction_times(name) \
+                == base.reaction_times(name)
+            assert columnar.vehicle_attribution_counts(name) \
+                == base.vehicle_attribution_counts(name)
+            assert columnar.vehicle_year_miles(name) \
+                == base.vehicle_year_miles(name)
+            assert columnar.vehicle_year_disengagements(name) \
+                == base.vehicle_year_disengagements(name)
+            assert columnar.tag_values(name) == base.tag_values(name)
+            assert columnar.tag_values(name, use_truth=True) \
+                == base.tag_values(name, use_truth=True)
+            assert columnar.modality_values(name) \
+                == base.modality_values(name)
+        assert columnar.reaction_times() == base.reaction_times()
+
+    def test_index_row_streams(self, small_db):
+        columnar = ColumnarFailureDatabase.from_database(small_db)
+        base_rows = [(r.to_dict(), m, mo, t) for r, m, mo, t
+                     in small_db.disengagement_index_rows()]
+        col_rows = [(r.to_dict(), m, mo, t) for r, m, mo, t
+                    in columnar.disengagement_index_rows()]
+        assert col_rows == base_rows
+        assert [(c.to_dict(), m, mo, miles) for c, m, mo, miles
+                in columnar.mileage_index_rows()] \
+            == [(c.to_dict(), m, mo, miles) for c, m, mo, miles
+                in small_db.mileage_index_rows()]
+
+    def test_materialized_mutation_disables_fast_path(self, small_db):
+        columnar = ColumnarFailureDatabase.from_database(small_db)
+        records = columnar.disengagements  # materializes
+        victim = records[0].manufacturer
+        records[:] = [r for r in records if r.manufacturer != victim]
+        # The scan must see the mutation, not the stale columns.
+        assert columnar.vehicle_disengagements(victim) == {}
+        assert victim not in {
+            m for _, m, _, _ in columnar.disengagement_index_rows()}
+
+
+# ----------------------------------------------------------------------
+# Binary io robustness.
+# ----------------------------------------------------------------------
+
+class TestBinaryIo:
+    def test_save_load(self, tmp_path):
+        base = _mixed_database()
+        path = tmp_path / "db.bin"
+        save_columnar(base, path)
+        assert (tmp_path / "db.bin.sha256").exists()
+        loaded = load_columnar(path)
+        assert loaded.to_json() == base.to_json()
+
+    def test_detect_and_load_any(self, tmp_path):
+        base = _mixed_database()
+        jpath, bpath = tmp_path / "db.json", tmp_path / "db.bin"
+        base.save(jpath)
+        save_columnar(base, bpath)
+        assert detect_storage_format(jpath) == "json"
+        assert detect_storage_format(bpath) == "columnar"
+        assert load_any(jpath).fingerprint() \
+            == load_any(bpath).fingerprint()
+        assert isinstance(load_any(bpath), ColumnarFailureDatabase)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CorruptDatabaseError):
+            decode_columnar(b"NOTMAGIC" + b"\x00" * 32)
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_columnar(_mixed_database())
+        with pytest.raises(CorruptDatabaseError):
+            decode_columnar(blob[:len(blob) // 2])
+
+    def test_tampered_header_rejected(self):
+        blob = bytearray(encode_columnar(_mixed_database()))
+        # Corrupt the first header byte (right after magic + length).
+        blob[len(MAGIC) + 8] ^= 0xFF
+        with pytest.raises(CorruptDatabaseError):
+            decode_columnar(bytes(blob))
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "db.bin"
+        save_columnar(_mixed_database(), path)
+        (tmp_path / "db.bin.sha256").write_text(
+            "0" * 64 + "  db.bin\n")
+        with pytest.raises(CorruptDatabaseError):
+            load_columnar(path)
+        # Opting out of verification still loads the intact payload.
+        assert load_columnar(path, verify_checksum=False)
+
+    def test_checkpoint_blob_artifact(self, tmp_path):
+        store = CheckpointStore(
+            tmp_path, PipelineConfig(seed=1, checkpoint_dir=tmp_path))
+        payload = encode_columnar(_mixed_database())
+        store.write_blob_artifact("database", payload)
+        assert store.load_blob_artifact("database") == payload
+        (tmp_path / "database.bin").write_bytes(b"garbage")
+        assert store.load_blob_artifact("database") is None
+        store.drop_blob_artifact("database")
+        assert store.load_blob_artifact("database") is None
+
+
+# ----------------------------------------------------------------------
+# Fingerprint memoization.
+# ----------------------------------------------------------------------
+
+class TestFingerprintMemo:
+    def test_cached_between_calls(self):
+        db = _mixed_database()
+        first = db.fingerprint()
+        db._payload = lambda: pytest.fail(  # type: ignore[assignment]
+            "memoized fingerprint recomputed the payload")
+        assert db.fingerprint() == first
+
+    def test_append_invalidates(self):
+        db = _mixed_database()
+        before = db.fingerprint()
+        db.mileage.append(MonthlyMileage("Zoox", "2017-01", 5.0))
+        assert db.fingerprint() != before
+
+    def test_touch_invalidates_in_place_edit(self):
+        db = _mixed_database()
+        before = db.fingerprint()
+        db.disengagements[0].weather = "fog"
+        db.touch()
+        assert db.fingerprint() != before
+
+    def test_columnar_memo(self):
+        columnar = ColumnarFailureDatabase.from_database(
+            _mixed_database())
+        first = columnar.fingerprint()
+        assert columnar.fingerprint() == first
+        columnar.disengagements.pop()
+        assert columnar.fingerprint() != first
+
+
+# ----------------------------------------------------------------------
+# Compact worker payloads.
+# ----------------------------------------------------------------------
+
+class TestCompactOutcomes:
+    def _outcome(self) -> UnitOutcome:
+        return UnitOutcome(
+            body={"tag": "software", "category": "machine"},
+            health=({"tag": (1, 0, 0, 0, 0)}, []),
+            elapsed=0.002)
+
+    def test_pickle_round_trip(self):
+        outcome = self._outcome()
+        assert pickle.loads(pickle.dumps(outcome)) == outcome
+
+    def test_no_instance_dict(self):
+        assert not hasattr(self._outcome(), "__dict__")
+
+    def test_smaller_than_dict_baseline(self):
+        outcome = self._outcome()
+        baseline = {
+            "body": outcome.body,
+            "health": {"stages": {"tag": [1, 0, 0, 0, 0]},
+                       "events": []},
+            "error": None, "ocr": None, "elapsed": outcome.elapsed,
+            "injected": 0, "metrics": None}
+        assert len(pickle.dumps(outcome)) < len(pickle.dumps(baseline))
