@@ -1,6 +1,6 @@
 """Parallel fan-out and tagger hot-path benchmarks.
 
-Three budgets guard this perf work:
+Five budgets guard this perf work:
 
 1. **End-to-end speedup** — ``--workers 4`` must beat serial by
    >= 1.5x on a >= 4-core machine (scaled down to >= 1.1x on 2-3
@@ -14,6 +14,16 @@ Three budgets guard this perf work:
 3. **Tagger index** — the inverted-index matcher must beat the
    ``match_linear`` reference scan by >= 5x per record (this is the
    core-count-independent part, asserted everywhere).
+4. **Batched tagging** — ``tag_batch`` over the whole corpus must beat
+   the per-unit ``tag`` loop by >= 1.3x (one normalization/tokenize
+   pass through the shared cache, candidate sets via the inverted
+   index, duplicate narratives deduped by identity), with results
+   asserted equal element-by-element.
+5. **Chunked payload** — at 2 workers, the chunked ``BatchOutcome``
+   wire encoding must cut pickled bytes per unit by >= 30% versus the
+   per-unit ``UnitOutcome`` stream it replaced (the chunk ships one
+   merged health delta / metrics dump / wall time instead of one per
+   unit).
 
 Run as a script (``python benchmarks/bench_parallel.py``) for the
 self-contained report CI runs; ``--out`` additionally writes the
@@ -43,7 +53,11 @@ from repro.pipeline import (
     process_corpus,
 )
 from repro.pipeline import runner
-from repro.pipeline.parallel import UnitOutcome
+from repro.pipeline.parallel import (
+    BatchOutcome,
+    UnitOutcome,
+    resolve_batch_size,
+)
 from repro.pipeline.stages import OcrStage, PipelineDiagnostics
 from repro.synth import generate_corpus
 
@@ -58,6 +72,11 @@ SPEEDUP_BUDGET_2CORE = 1.1
 OVERHEAD_BUDGET = 0.05
 #: Indexed matching must beat the linear reference scan by this much.
 INDEX_SPEEDUP_BUDGET = 5.0
+#: ``tag_batch`` must beat the per-unit ``tag`` loop by this much.
+TAG_BATCH_SPEEDUP_BUDGET = 1.3
+#: Chunked dispatch must cut wire bytes per unit by this fraction
+#: versus the per-unit outcome stream (measured at 2 workers).
+BATCH_PAYLOAD_REDUCTION_BUDGET = 0.30
 
 
 def _config(**overrides) -> PipelineConfig:
@@ -209,10 +228,15 @@ def main(argv=None) -> int:
                 f"--workers {workers} output diverged from serial")
             best = wall if best is None else min(best, wall)
         speedup = serial_wall / best
+        batch_sizes = dict(sorted(
+            result.diagnostics.parallel.batch_size.items()))
         report["parallel"][str(workers)] = {
-            "wall_s": round(best, 4), "speedup": round(speedup, 3)}
+            "wall_s": round(best, 4), "speedup": round(speedup, 3),
+            "batch_size": batch_sizes}
+        sizes = ", ".join(f"{s}={n}" for s, n in batch_sizes.items())
         print(f"{workers} workers:        {best:.3f}s "
-              f"({speedup:.2f}x vs serial, byte-identical)")
+              f"({speedup:.2f}x vs serial, byte-identical; "
+              f"auto batch {sizes})")
 
     speedup4 = report["parallel"]["4"]["speedup"]
     if cores >= 4:
@@ -275,6 +299,45 @@ def main(argv=None) -> int:
             f"index speedup {index_speedup:.1f}x under the "
             f"{INDEX_SPEEDUP_BUDGET:.0f}x budget")
 
+    # -- batch-native tagging vs the per-unit loop --------------------
+    # ``tag_batch`` pushes the whole corpus through normalization /
+    # tokenization / index matching in one pass and dedupes duplicate
+    # narratives by identity; the per-unit ``tag`` loop is the
+    # unchanged reference implementation.  Parity is asserted on every
+    # round, so the speedup can never be bought with drift.
+    per_unit_results, _ = _timed(lambda: [tagger.tag(t) for t in texts])
+    per_unit_times, batch_times = [], []
+    for _ in range(args.rounds):
+        batch_results, wall = _timed(lambda: tagger.tag_batch(texts))
+        assert batch_results == per_unit_results, (
+            "tag_batch diverged from the per-unit tag loop")
+        batch_times.append(wall)
+        per_unit_times.append(
+            _timed(lambda: [tagger.tag(t) for t in texts])[1])
+    per_unit_wall = min(per_unit_times)
+    batch_wall = min(batch_times)
+    batch_speedup = per_unit_wall / batch_wall
+    distinct = len(set(texts))
+    report["tag_batch"] = {
+        "narratives": len(texts),
+        "distinct_narratives": distinct,
+        "per_unit_wall_s": round(per_unit_wall, 4),
+        "batch_wall_s": round(batch_wall, 4),
+        "speedup": round(batch_speedup, 3),
+        "speedup_budget": TAG_BATCH_SPEEDUP_BUDGET,
+    }
+    print(f"\nbatched tagging ({len(texts):,} narratives, "
+          f"{distinct:,} distinct):")
+    print(f"  per-unit loop:  {per_unit_wall:8.3f}s")
+    print(f"  tag_batch:      {batch_wall:8.3f}s")
+    print(f"  speedup:        {batch_speedup:8.2f}x "
+          f"(budget >={TAG_BATCH_SPEEDUP_BUDGET:.1f}x, "
+          "results asserted equal)")
+    if batch_speedup < TAG_BATCH_SPEEDUP_BUDGET:
+        failures.append(
+            f"tag_batch speedup {batch_speedup:.2f}x under the "
+            f"{TAG_BATCH_SPEEDUP_BUDGET:.1f}x budget")
+
     # -- worker payload size: slots/tuple pickle vs dict baseline -----
     # One Stage III outcome crosses the pool pipe per tagged record.
     # Compare the shipped encoding (__slots__ dataclass with a 7-tuple
@@ -314,6 +377,47 @@ def main(argv=None) -> int:
         failures.append(
             "compact worker payload is not smaller than the dict "
             "baseline")
+
+    # -- chunked dispatch payload vs the per-unit stream --------------
+    # The same Stage III results shipped the way the chunked engine
+    # ships them: one ``BatchOutcome`` per auto-resolved chunk at 2
+    # workers, carrying per-unit journal bodies but only ONE merged
+    # health delta / wall time / chaos count for the whole chunk.  The
+    # per-unit baseline is the ``UnitOutcome`` stream built above.
+    chunk_size = resolve_batch_size(None, len(outcomes), workers=2)
+    chunks = [
+        BatchOutcome(
+            bodies=[o.body for o in outcomes[i:i + chunk_size]],
+            health=({"tag": (len(outcomes[i:i + chunk_size]),
+                             0, 0, 0, 0)}, []),
+            elapsed=sum(o.elapsed for o in outcomes[i:i + chunk_size]))
+        for i in range(0, len(outcomes), chunk_size)]
+    chunked_bytes = sum(len(pickle.dumps(c)) for c in chunks)
+    chunk_delta = 1.0 - chunked_bytes / compact_bytes
+    report["batched_payload"] = {
+        "units": len(outcomes),
+        "workers": 2,
+        "batch_size": chunk_size,
+        "chunk_tasks": len(chunks),
+        "per_unit_bytes_per_unit": round(
+            compact_bytes / len(outcomes), 1),
+        "chunked_bytes_per_unit": round(
+            chunked_bytes / len(outcomes), 1),
+        "size_reduction": round(chunk_delta, 4),
+        "reduction_budget": BATCH_PAYLOAD_REDUCTION_BUDGET,
+    }
+    print(f"\nchunked dispatch payload (2 workers, auto batch "
+          f"{chunk_size} -> {len(chunks)} chunk tasks):")
+    print(f"  per-unit:       {compact_bytes / len(outcomes):8.1f} "
+          "bytes/unit")
+    print(f"  chunked:        {chunked_bytes / len(outcomes):8.1f} "
+          "bytes/unit")
+    print(f"  reduction:      {chunk_delta:8.1%} "
+          f"(budget >={BATCH_PAYLOAD_REDUCTION_BUDGET:.0%})")
+    if chunk_delta < BATCH_PAYLOAD_REDUCTION_BUDGET:
+        failures.append(
+            f"chunked payload reduction {chunk_delta:.1%} under the "
+            f"{BATCH_PAYLOAD_REDUCTION_BUDGET:.0%} budget")
 
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

@@ -157,6 +157,11 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                         default="auto",
                         help="worker pool kind (default: %(default)s; "
                              "auto picks processes at >= 2 workers)")
+    parser.add_argument("--batch-size", default="auto",
+                        help="units per dispatched worker chunk "
+                             "(default: auto = spread each stage over "
+                             "~4 chunks per worker; output is "
+                             "byte-identical at any size)")
     parser.add_argument("--trace", action="store_true",
                         help="record a run -> stage -> unit span trace "
                              "(trace.jsonl; see 'repro trace')")
@@ -173,6 +178,22 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                              "struct-of-arrays; output bytes are "
                              "identical either way; default: "
                              "%(default)s)")
+
+
+def _parse_batch_size(value: str | None) -> int | None:
+    """``--batch-size`` operand: ``auto`` (None) or an integer.
+
+    Raises ValueError (not SystemExit) so main() reports it through
+    the same exit-code-2 path as the config knob validation.
+    """
+    if value is None or value == "auto":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"--batch-size must be an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def _config_from(args: argparse.Namespace) -> PipelineConfig:
@@ -204,6 +225,7 @@ def _config_from(args: argparse.Namespace) -> PipelineConfig:
         crash=crash,
         workers=args.workers,
         worker_mode=args.worker_mode,
+        batch_size=_parse_batch_size(args.batch_size),
         trace_enabled=args.trace,
         trace_dir=args.trace_dir,
         metrics_enabled=args.metrics,

@@ -171,6 +171,26 @@ class FailureDictionary:
                     matches.append(entry)
         return matches
 
+    def match_batch(self, token_lists: list[list[str]],
+                    ) -> list[list[DictionaryEntry]]:
+        """``[self.match(tokens) for tokens in token_lists]`` in bulk.
+
+        Token lists that are the *same object* — which is what the
+        shared token cache hands every consumer of a duplicate
+        narrative — are matched once and share one result list, so
+        the returned lists must be treated as read-only.
+        """
+        out: list[list[DictionaryEntry]] = []
+        memo: dict[int, list[DictionaryEntry]] = {}
+        match = self.match
+        for tokens in token_lists:
+            key = id(tokens)
+            found = memo.get(key)
+            if found is None:
+                found = memo[key] = match(tokens)
+            out.append(found)
+        return out
+
     def match_at(self, tokens: list[str],
                  position: int) -> list[DictionaryEntry]:
         """Entries whose phrase starts exactly at ``position``."""

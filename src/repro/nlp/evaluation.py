@@ -64,14 +64,20 @@ def evaluate_tagger(tagger, records: list[DisengagementRecord],
                     ) -> TaggingReport:
     """Score ``tagger`` against records carrying ground-truth tags.
 
-    ``tagger`` is anything with a ``tag(text) -> TagResult`` method.
-    Records without ground truth are skipped.
+    ``tagger`` is anything with a ``tag(text) -> TagResult`` method; a
+    batch-native ``tag_batch`` (see :class:`~repro.nlp.tagger.
+    VotingTagger`) is used when present so the evaluation re-tag pass
+    amortizes tokenization across the corpus.  Records without ground
+    truth are skipped.
     """
     report = TaggingReport()
-    for record in records:
-        if record.truth_tag is None:
-            continue
-        result = tagger.tag(record.description)
+    scored = [r for r in records if r.truth_tag is not None]
+    tag_batch = getattr(tagger, "tag_batch", None)
+    if tag_batch is not None:
+        results = tag_batch([r.description for r in scored])
+    else:
+        results = [tagger.tag(r.description) for r in scored]
+    for record, result in zip(scored, results):
         truth = record.truth_tag
         report.total += 1
         report.per_tag_truth[truth] += 1

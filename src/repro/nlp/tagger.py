@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from ..taxonomy import FailureCategory, FaultTag, category_of
 from .dictionary import DictionaryEntry, FailureDictionary
-from .textcache import cached_tokens
+from .textcache import cached_tokens, cached_tokens_batch
 
 
 @dataclass
@@ -66,6 +66,62 @@ class VotingTagger:
             confident=confident,
         )
 
+    def tag_batch(self, texts: list[str]) -> list[TagResult]:
+        """Tag a whole batch; equals ``[self.tag(t) for t in texts]``.
+
+        The batch entrypoint backends amortize per-call overhead
+        behind: one pass through the token cache, one pass through the
+        dictionary index, and one vote per *distinct* narrative —
+        duplicate narratives (a quarter of a real report corpus) share
+        a single :class:`TagResult`.  Results must be treated as
+        read-only; equality with the per-unit loop is enforced by the
+        property tests in ``tests/test_nlp.py``.
+        """
+        token_lists = cached_tokens_batch(texts)
+        match_lists = self.dictionary.match_batch(token_lists)
+        memo: dict[int, TagResult] = {}
+        out: list[TagResult] = []
+        for matches in match_lists:
+            key = id(matches)
+            result = memo.get(key)
+            if result is None:
+                result = memo[key] = self._tag_matches(matches)
+            out.append(result)
+        return out
+
+    def _tag_matches(self, matches: list[DictionaryEntry]) -> TagResult:
+        """The voting scheme over one narrative's matches.
+
+        Mirrors :meth:`tag` but accumulates votes in a plain dict and
+        ranks with a stable sort: ``sorted(..., key=-weight)`` visits
+        equal weights in insertion order, exactly like
+        ``Counter.most_common`` — so the ranked order (which feeds the
+        tie-break) is identical, at a fraction of the cost.
+        """
+        if not matches:
+            return TagResult(
+                tag=FaultTag.UNKNOWN,
+                category=category_of(FaultTag.UNKNOWN),
+                scores={}, matches=[], confident=False)
+        votes: dict[FaultTag, float] = {}
+        for entry in matches:
+            tag = entry.tag
+            votes[tag] = votes.get(tag, 0.0) + entry.weight
+        ranked = sorted(votes.items(), key=lambda item: -item[1])
+        best_tag, best_weight = ranked[0]
+        confident = True
+        if len(ranked) > 1 and ranked[1][1] == best_weight:
+            tied = [tag for tag, weight in ranked if weight == best_weight]
+            best_tag = _break_tie(tied, matches)
+            confident = False
+        return TagResult(
+            tag=best_tag,
+            category=category_of(best_tag),
+            scores=votes,
+            matches=matches,
+            confident=confident,
+        )
+
 
 class FirstMatchTagger:
     """Ablation baseline: the first phrase hit in reading order wins.
@@ -79,7 +135,27 @@ class FirstMatchTagger:
 
     def tag(self, text: str) -> TagResult:
         """Assign the tag of the earliest phrase occurrence."""
-        tokens = cached_tokens(text)
+        return self._tag_tokens(cached_tokens(text))
+
+    def tag_batch(self, texts: list[str]) -> list[TagResult]:
+        """Tag a whole batch; equals ``[self.tag(t) for t in texts]``.
+
+        Shares the batch tokenization pass and dedupes duplicate
+        narratives like :meth:`VotingTagger.tag_batch` (results are
+        read-only).
+        """
+        token_lists = cached_tokens_batch(texts)
+        memo: dict[int, TagResult] = {}
+        out: list[TagResult] = []
+        for tokens in token_lists:
+            key = id(tokens)
+            result = memo.get(key)
+            if result is None:
+                result = memo[key] = self._tag_tokens(tokens)
+            out.append(result)
+        return out
+
+    def _tag_tokens(self, tokens: list[str]) -> TagResult:
         earliest: tuple[int, DictionaryEntry] | None = None
         for position in range(len(tokens)):
             here = self.dictionary.match_at(tokens, position)

@@ -62,6 +62,48 @@ class TokenCache:
                 self._items.popitem(last=False)
         return computed
 
+    def tokens_batch(self, texts: list[str]) -> list[list[str]]:
+        """Normalized tokens for a whole batch (cached; do not mutate).
+
+        Equivalent to ``[self.tokens(t) for t in texts]`` — including
+        the hit/miss accounting: the first occurrence of an uncached
+        text counts one miss, every later duplicate in the batch
+        counts a hit, exactly as N sequential calls would.  The win is
+        one lock round-trip for all cached lookups plus one for all
+        insertions, instead of two per text.
+        """
+        out: list[list[str] | None] = [None] * len(texts)
+        missing: dict[str, list[int]] = {}
+        with self._lock:
+            for index, text in enumerate(texts):
+                cached = self._items.get(text)
+                if cached is not None:
+                    self.hits += 1
+                    self._items.move_to_end(text)
+                    out[index] = cached
+                    continue
+                slots = missing.get(text)
+                if slots is None:
+                    self.misses += 1
+                    missing[text] = [index]
+                else:
+                    self.hits += 1
+                    slots.append(index)
+        if missing:
+            computed = {text: normalize_tokens(tokenize(text))
+                        for text in missing}
+            with self._lock:
+                for text, tokens in computed.items():
+                    held = self._items.get(text)
+                    if held is None:
+                        held = self._items[text] = tokens
+                    self._items.move_to_end(text)
+                    for index in missing[text]:
+                        out[index] = held
+                while len(self._items) > self.capacity:
+                    self._items.popitem(last=False)
+        return out
+
     def stats(self) -> dict[str, int]:
         """A consistent ``{hits, misses, size, capacity}`` snapshot."""
         with self._lock:
@@ -90,6 +132,11 @@ _CACHE = TokenCache()
 def cached_tokens(text: str) -> list[str]:
     """Normalized tokens of ``text`` via the shared memo (read-only)."""
     return _CACHE.tokens(text)
+
+
+def cached_tokens_batch(texts: list[str]) -> list[list[str]]:
+    """Batch variant of :func:`cached_tokens` (read-only lists)."""
+    return _CACHE.tokens_batch(texts)
 
 
 def token_cache() -> TokenCache:

@@ -74,6 +74,13 @@ REQUESTS_INFLIGHT = "repro_requests_inflight"
 STORAGE_ROWS = "repro_storage_rows_total"
 #: Storage: wall time spent converting to the columnar backend.
 STORAGE_CONVERT_SECONDS = "repro_storage_convert_seconds"
+#: Parallel: dispatch chunks shipped to the worker pool, by stage.
+BATCH_TASKS_TOTAL = "repro_batch_tasks_total"
+#: Parallel: units that rode those chunks (units/task = units/tasks).
+BATCH_UNITS_TOTAL = "repro_batch_units_total"
+#: Parallel: pickled chunk-outcome payload bytes (payload/task =
+#: bytes/tasks); an estimate of pipe traffic, measured coordinator-side.
+BATCH_PAYLOAD_BYTES_TOTAL = "repro_batch_payload_bytes_total"
 
 #: Fixed latency bucket upper bounds in seconds (+Inf is implicit).
 DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,

@@ -38,8 +38,10 @@ from .ingest import (
 from .parallel import (
     PROCESS_POOL_MIN_WORKERS,
     WORKER_MODES,
+    BatchOutcome,
     ParallelExecutor,
     ParallelStats,
+    resolve_batch_size,
 )
 from .resilience import (
     CheckpointHealth,
@@ -66,6 +68,7 @@ __all__ = [
     "FailurePolicy",
     "IngestReport",
     "IngestResult",
+    "BatchOutcome",
     "PROCESS_POOL_MIN_WORKERS",
     "ParallelExecutor",
     "ParallelStats",
@@ -85,6 +88,7 @@ __all__ = [
     "config_fingerprint",
     "document_digest",
     "ingest_corpus",
+    "resolve_batch_size",
     "retry_with_backoff",
     "run_pipeline",
     "process_corpus",

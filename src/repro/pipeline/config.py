@@ -78,6 +78,14 @@ class PipelineConfig:
     #: workers up and the threaded fallback below it; ``thread`` /
     #: ``process`` force one kind.
     worker_mode: str = "auto"
+    #: Units per dispatched chunk in the parallel fan-out.  ``None``
+    #: resolves per stage to ``ceil(n_units / (workers * 4))``,
+    #: clamped (see :func:`~repro.pipeline.parallel.resolve_batch_size`);
+    #: output is byte-identical at any size.  Like ``workers``, it
+    #: picks an execution strategy, never an output, so it is excluded
+    #: from the checkpoint config fingerprint — a run journaled
+    #: unbatched resumes under batching and vice versa.
+    batch_size: int | None = None
     #: Record hierarchical spans (run → stage → unit) for this run.
     #: Off by default; tracing never alters pipeline output bytes.
     trace_enabled: bool = False
@@ -128,6 +136,9 @@ class PipelineConfig:
             raise ValueError(
                 f"worker_mode must be one of {WORKER_MODES}, got "
                 f"{self.worker_mode!r}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}")
         if self.storage_backend not in STORAGE_BACKENDS:
             raise ValueError(
                 f"storage_backend must be one of {STORAGE_BACKENDS}, "

@@ -42,12 +42,14 @@ Failure-policy semantics are preserved per unit:
 
 from __future__ import annotations
 
+import math
 import pickle
 import threading
 import time
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner
     from .config import PipelineConfig  # imports this module)
@@ -59,6 +61,35 @@ WORKER_MODES = ("auto", "thread", "process")
 #: it (i.e. a single worker) the threaded fallback avoids process
 #: spawn + transfer cost that parallelism could never repay.
 PROCESS_POOL_MIN_WORKERS = 2
+
+#: ``auto`` batch sizing spreads a stage over about this many chunks
+#: per worker: enough slack for the pool to balance unevenly sized
+#: units, few enough tasks that per-task overhead stays amortized.
+BATCH_AUTO_CHUNKS_PER_WORKER = 4
+
+#: Upper clamp for auto-resolved batch sizes, bounding both the
+#: payload a single task pickles and the journal window a crash can
+#: lose (buffered appends flush at chunk boundaries).
+BATCH_SIZE_CLAMP = 256
+
+
+def resolve_batch_size(batch_size: int | None, n_units: int,
+                       workers: int) -> int:
+    """Units per dispatched chunk for one stage's fan-out.
+
+    An explicit ``batch_size`` wins as-is; ``None`` (the ``auto``
+    default) targets :data:`BATCH_AUTO_CHUNKS_PER_WORKER` chunks per
+    worker, clamped to ``[1, BATCH_SIZE_CLAMP]``.  Pure function of
+    its inputs so the resolved size is reproducible from the run
+    report.
+    """
+    if batch_size is not None:
+        return max(1, batch_size)
+    if n_units <= 0:
+        return 1
+    return max(1, min(
+        BATCH_SIZE_CLAMP,
+        math.ceil(n_units / (workers * BATCH_AUTO_CHUNKS_PER_WORKER))))
 
 
 # ----------------------------------------------------------------------
@@ -88,6 +119,10 @@ class ParallelStats:
     unit_compute_s: float = 0.0
     #: Coordinator wall-clock seconds spent in fanned-out stages.
     parallel_wall_s: float = 0.0
+    #: Dispatch chunks shipped to the pool (0 for serial runs).
+    batch_tasks: int = 0
+    #: Stage name -> resolved units-per-chunk batch size.
+    batch_size: dict[str, int] = field(default_factory=dict)
 
     @property
     def enabled(self) -> bool:
@@ -116,6 +151,8 @@ class ParallelStats:
             "parallel_wall_s": self.parallel_wall_s,
             "speedup_estimate": self.speedup_estimate,
             "stage_wall_s": dict(self.stage_wall_s),
+            "batch_tasks": self.batch_tasks,
+            "batch_size": dict(self.batch_size),
         }
 
 
@@ -125,23 +162,27 @@ class ParallelStats:
 
 @dataclass(slots=True)
 class UnitOutcome:
-    """What one worker computed for one unit of work.
+    """One unit of work's outcome, as the merge loop consumes it.
 
     ``body`` is the unit's checkpoint-journal body (``None`` only when
     ``error`` carries a ``fail_fast`` verdict); the remaining fields
     are coordinator-side sidecars that never enter the journal, so the
     journal format stays identical to serial runs.
 
-    Outcomes cross the process-pool pipe once per unit, so the class
-    is built for cheap transfer: ``__slots__`` (no instance dict) and
-    a plain 7-tuple pickle state — no per-instance field names, no
-    class-dict payload beyond the one shared qualname reference.
+    Since chunked dispatch, units cross the process-pool pipe inside a
+    :class:`BatchOutcome` and the coordinator unpacks them into these
+    per-unit views (``health`` is ``None`` when the chunk shipped one
+    merged delta; chunk-level sidecars ride the chunk, so unpacked
+    units carry ``elapsed=0``/``injected=0``/``metrics=None``).  The
+    compact pickle state is kept: it is the per-unit wire baseline the
+    payload benchmark measures chunking against.
     """
 
     body: dict[str, Any] | None
     #: Per-stage resilience counter deltas + degradation events, as
-    #: the ``(stages, events)`` pair :func:`_health_delta` builds.
-    health: tuple
+    #: the ``(stages, events)`` pair :func:`_health_delta` builds —
+    #: ``None`` when the delta was merged at chunk level instead.
+    health: tuple | None
     #: ``fail_fast`` verdict to re-raise at merge time (the serialized
     #: :class:`~repro.errors.PipelineError` message).
     error: str | None = None
@@ -162,6 +203,66 @@ class UnitOutcome:
     def __setstate__(self, state: tuple) -> None:
         (self.body, self.health, self.error, self.ocr,
          self.elapsed, self.injected, self.metrics) = state
+
+
+@dataclass(slots=True)
+class BatchOutcome:
+    """What one worker computed for one dispatched chunk of units.
+
+    ``bodies`` holds the checkpoint-journal bodies of the chunk's
+    completed units in task (corpus) order.  Everything the per-unit
+    encoding shipped once per unit — health delta, metrics dump, chaos
+    count, wall time — rides once per chunk here, which is where the
+    payload and per-task-overhead win comes from (measured in
+    ``benchmarks/bench_parallel.py``).  The coordinator unpacks a
+    chunk back into :class:`UnitOutcome` views strictly in corpus
+    order, so every merge-side state transition — and therefore every
+    output byte — is identical to per-unit dispatch and to serial.
+
+    Health granularity is adaptive: normally one merged delta for the
+    whole chunk suffices, but when any unit in the chunk quarantined,
+    per-unit deltas are shipped instead (``unit_health``) because the
+    coordinator's threshold re-check must see the merged counters
+    exactly as they stood at each quarantined unit's turn.
+    """
+
+    #: Journal bodies of completed units, in task order.  A unit that
+    #: raised a ``fail_fast`` verdict contributes no body; the chunk
+    #: stops at it, exactly where a serial run would have.
+    bodies: list[dict[str, Any] | None]
+    #: One merged ``(stages, events)`` delta for the chunk, or ``None``
+    #: when ``unit_health`` carries per-unit deltas.
+    health: tuple | None
+    #: Per-unit ``(stages, events)`` deltas, aligned with ``bodies``
+    #: plus the error unit (if any); shipped only when a unit in the
+    #: chunk quarantined.
+    unit_health: list[tuple] | None = None
+    #: ``fail_fast`` verdict raised by the unit after the last body.
+    error: str | None = None
+    #: Per-unit OCR deltas aligned with ``bodies`` (entries ``None``
+    #: for units that never entered OCR; the whole field ``None`` when
+    #: no unit did).
+    ocr: list[dict[str, Any] | None] | None = None
+    #: Worker-side wall seconds spent computing the whole chunk.
+    elapsed: float = 0.0
+    #: Chaos faults injected across the chunk.
+    injected: int = 0
+    #: One merged :meth:`~repro.obs.MetricsRegistry.dump` delta for
+    #: the chunk (``None`` unless the run has ``metrics_enabled``).
+    metrics: dict[str, Any] | None = None
+
+    @property
+    def units(self) -> int:
+        """Units this chunk accounts for (bodies + the error unit)."""
+        return len(self.bodies) + (1 if self.error is not None else 0)
+
+    def __getstate__(self) -> tuple:
+        return (self.bodies, self.health, self.unit_health, self.error,
+                self.ocr, self.elapsed, self.injected, self.metrics)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.bodies, self.health, self.unit_health, self.error,
+         self.ocr, self.elapsed, self.injected, self.metrics) = state
 
 
 #: Pickled ``(config, dictionary_json | None, pool_mode)`` for the
@@ -271,18 +372,51 @@ def _health_delta(guard) -> tuple:
     )
 
 
-def _stage2_unit(task: tuple[str, Any]) -> UnitOutcome:
-    """Compute one Stage II document in isolation.
+def _snapshot_health(guard) -> dict[str, tuple]:
+    """All stage counters as plain tuples (for per-unit diffing)."""
+    return {
+        name: (s.attempts, s.errors, s.retries,
+               s.degradations, s.quarantined)
+        for name, s in guard.health.stages.items()
+    }
 
-    Runs the exact live-path function the serial runner uses, against
-    a unit-local guard/diagnostics/database, and returns the journal
-    body it produced.  A ``fail_fast`` abort is shipped home as an
-    error marker for the coordinator to re-raise in corpus order.
+
+def _per_unit_deltas(snaps: list[dict], events: list,
+                     events_at: list[int]) -> list[tuple]:
+    """Per-unit ``(stages, events)`` deltas from counter snapshots."""
+    deltas: list[tuple] = []
+    for i in range(len(snaps) - 1):
+        before, after = snaps[i], snaps[i + 1]
+        stages = {}
+        for name, counters in after.items():
+            prev = before.get(name)
+            if prev is None:
+                if any(counters):
+                    stages[name] = counters
+            elif prev != counters:
+                stages[name] = tuple(
+                    now - was for now, was in zip(counters, prev))
+        deltas.append((stages, events[events_at[i]:events_at[i + 1]]))
+    return deltas
+
+
+def _stage2_batch(tasks: list[tuple[str, Any]]) -> BatchOutcome:
+    """Compute one chunk of Stage II documents with shared context.
+
+    One guard / database / metrics registry serves the whole chunk —
+    their per-task setup and shipping cost is exactly what chunking
+    amortizes — while the per-unit isolation that shapes output is
+    preserved: OCR stats are reset per document (one document's
+    running mean IS its confidence, which the coordinator's merge
+    replay depends on), and health counters are snapshotted per unit
+    so a quarantine anywhere in the chunk ships unit-aligned deltas
+    for the coordinator's threshold re-check.  A ``fail_fast``
+    verdict stops the chunk at the failing unit, exactly where a
+    serial run would have stopped.
     """
-    kind, document = task
     from ..errors import PipelineError
     from . import runner
-    from .stages import PipelineDiagnostics
+    from .stages import OcrStageStats, PipelineDiagnostics
     from .store import FailureDatabase
 
     state = _worker_state()
@@ -293,40 +427,81 @@ def _stage2_unit(task: tuple[str, Any]) -> UnitOutcome:
     guard = state.guard(database.quarantine, metrics=metrics)
     queue = (state.ocr_stage.queue if state.ocr_stage is not None
              else None)
-    pages_before = queue.pages_transcribed if queue is not None else 0
-    lines_before = queue.lines_transcribed if queue is not None else 0
-    body, error = None, None
-    try:
-        if kind == "disengagement":
-            body = runner._process_disengagement(
-                document, state.config, diagnostics, database, guard,
-                state.ocr_stage, state.registry, [], [], journal=True)
+    bodies: list = []
+    ocr_deltas: list = []
+    any_ocr = False
+    any_quarantine = False
+    error = None
+    events = guard.health.degradation_events
+    snaps = [_snapshot_health(guard)]
+    events_at = [0]
+    for kind, document in tasks:
+        diagnostics.ocr = OcrStageStats()
+        pages_before = (queue.pages_transcribed
+                        if queue is not None else 0)
+        lines_before = (queue.lines_transcribed
+                        if queue is not None else 0)
+        quarantined_before = len(database.quarantine)
+        try:
+            if kind == "disengagement":
+                body = runner._process_disengagement(
+                    document, state.config, diagnostics, database,
+                    guard, state.ocr_stage, state.registry, [], [],
+                    journal=True)
+            else:
+                body = runner._process_accident(
+                    document, state.config, diagnostics, database,
+                    guard, state.ocr_stage, journal=True)
+        except PipelineError as exc:
+            error = str(exc)
+            snaps.append(_snapshot_health(guard))
+            events_at.append(len(events))
+            break
+        bodies.append(body)
+        snaps.append(_snapshot_health(guard))
+        events_at.append(len(events))
+        if len(database.quarantine) > quarantined_before:
+            any_quarantine = True
+        if diagnostics.ocr.documents:
+            any_ocr = True
+            ocr_deltas.append({
+                "pages": diagnostics.ocr.pages,
+                "lines": diagnostics.ocr.lines,
+                # One document: the running mean IS its confidence.
+                "confidence": diagnostics.ocr.mean_confidence,
+                "fallback_pages":
+                    queue.pages_transcribed - pages_before,
+                "fallback_lines":
+                    queue.lines_transcribed - lines_before,
+            })
         else:
-            body = runner._process_accident(
-                document, state.config, diagnostics, database, guard,
-                state.ocr_stage, journal=True)
-    except PipelineError as exc:
-        error = str(exc)
-    ocr = None
-    if diagnostics.ocr.documents:
-        ocr = {
-            "pages": diagnostics.ocr.pages,
-            "lines": diagnostics.ocr.lines,
-            # One document: the running mean IS its confidence.
-            "confidence": diagnostics.ocr.mean_confidence,
-            "fallback_pages": queue.pages_transcribed - pages_before,
-            "fallback_lines": queue.lines_transcribed - lines_before,
-        }
-    return UnitOutcome(
-        body=body, health=_health_delta(guard), error=error, ocr=ocr,
+            ocr_deltas.append(None)
+    if any_quarantine:
+        health, unit_health = None, _per_unit_deltas(
+            snaps, list(events), events_at)
+    else:
+        health, unit_health = _health_delta(guard), None
+    return BatchOutcome(
+        bodies=bodies, health=health, unit_health=unit_health,
+        error=error, ocr=ocr_deltas if any_ocr else None,
         elapsed=time.perf_counter() - started,
         injected=guard.chaos.injected if guard.chaos is not None else 0,
         metrics=metrics.dump() if metrics is not None else None)
 
 
-def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
-    """Tag one record in isolation (same guard semantics as serial)."""
-    record_id, text = task
+def _stage3_batch(tasks: list[tuple[str, str]]) -> BatchOutcome:
+    """Tag one chunk of records with shared context.
+
+    The chunk's narratives go through the batch-native
+    :meth:`~repro.nlp.tagger.VotingTagger.tag_batch` in one call —
+    one tokenization/index pass for the whole chunk — and each
+    precomputed result is then adopted under the record's own guarded
+    stage run, so retries, chaos injection (decisions are drawn per
+    ``(stage, unit)``, independent of the compute), and fallbacks
+    fire exactly as they would per unit.  The tag stage always has a
+    fallback, so outside ``fail_fast`` a failure degrades rather than
+    quarantines — one merged health delta is always sufficient here.
+    """
     from ..errors import PipelineError
     from . import runner
     from .resilience import Quarantine
@@ -338,20 +513,25 @@ def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
     cache_before = None
     if metrics is not None and state.pool_mode == "process":
         # A process worker owns a private token cache; its delta must
-        # ride home with the unit.  Thread workers share the
+        # ride home with the chunk.  Thread workers share the
         # coordinator's cache, which the runner samples globally.
         from ..nlp.textcache import token_cache
 
         cache_before = token_cache().stats()
-    body, error = None, None
-    try:
-        result = guard.run("tag", record_id,
-                           lambda: state.tagger.tag(text),
-                           fallback=runner._unknown_tag)
-        body = {"tag": result.tag.value,
-                "category": result.category.value}
-    except PipelineError as exc:
-        error = str(exc)
+    results = state.tagger.tag_batch([text for _, text in tasks])
+    bodies: list = []
+    error = None
+    for (record_id, _), precomputed in zip(tasks, results):
+        try:
+            result = guard.run("tag", record_id,
+                               lambda precomputed=precomputed:
+                               precomputed,
+                               fallback=runner._unknown_tag)
+            bodies.append({"tag": result.tag.value,
+                           "category": result.category.value})
+        except PipelineError as exc:
+            error = str(exc)
+            break
     if cache_before is not None:
         from ..nlp.textcache import token_cache
         from ..obs.metrics import TOKEN_CACHE_HITS, TOKEN_CACHE_MISSES
@@ -363,11 +543,41 @@ def _stage3_unit(task: tuple[str, str]) -> UnitOutcome:
         metrics.counter(
             TOKEN_CACHE_MISSES, "Token-memo misses").inc(
             after["misses"] - cache_before["misses"])
-    return UnitOutcome(
-        body=body, health=_health_delta(guard), error=error,
+    return BatchOutcome(
+        bodies=bodies, health=_health_delta(guard), error=error,
         elapsed=time.perf_counter() - started,
         injected=guard.chaos.injected if guard.chaos is not None else 0,
         metrics=metrics.dump() if metrics is not None else None)
+
+
+def iter_units(batches: Iterator[BatchOutcome],
+               on_batch: Callable[[BatchOutcome], None],
+               ) -> Iterator[UnitOutcome]:
+    """Flatten chunk outcomes back into per-unit outcomes.
+
+    ``on_batch`` fires once per chunk, before its units are yielded —
+    the coordinator folds the chunk-level sidecars (merged health,
+    metrics, chaos count, batch accounting, journal-buffer flush)
+    there, exactly once, at the position in corpus order where the
+    chunk's first unit is merged.  Unpacked views carry
+    ``health=None`` when the chunk shipped one merged delta, and zero
+    ``elapsed``/``injected`` (those ride the chunk).
+    """
+    for batch in batches:
+        on_batch(batch)
+        unit_health = batch.unit_health
+        ocr = batch.ocr
+        for i, body in enumerate(batch.bodies):
+            yield UnitOutcome(
+                body=body,
+                health=None if unit_health is None else unit_health[i],
+                ocr=None if ocr is None else ocr[i])
+        if batch.error is not None:
+            yield UnitOutcome(
+                body=None,
+                health=(None if unit_health is None
+                        else unit_health[len(batch.bodies)]),
+                error=batch.error)
 
 
 # ----------------------------------------------------------------------
@@ -381,12 +591,14 @@ def worker_config(config: "PipelineConfig") -> "PipelineConfig":
     coordinator concerns; stripping them keeps the worker payload
     small and makes it impossible for a worker to journal, crash the
     run, write a trace file, or spawn its own pool.
-    (``metrics_enabled`` survives: workers collect per-unit metric
-    deltas the coordinator merges.)
+    (``metrics_enabled`` survives: workers collect per-chunk metric
+    deltas the coordinator merges.)  ``batch_size`` is stripped too:
+    chunking is decided coordinator-side, so the worker payload is
+    identical at every batch size.
     """
     return replace(config, crash=None, checkpoint_dir=None,
                    resume=False, workers=0, worker_mode="auto",
-                   trace_enabled=False, trace_dir=None)
+                   batch_size=None, trace_enabled=False, trace_dir=None)
 
 
 class ParallelExecutor:
@@ -407,6 +619,7 @@ class ParallelExecutor:
         if self.mode == "serial":  # pragma: no cover - misuse guard
             raise ValueError("ParallelExecutor needs workers >= 1")
         self._config = worker_config(config)
+        self._batch_size = config.batch_size
         self.stats = stats
         stats.workers = self.workers
         stats.mode = self.mode
@@ -431,28 +644,45 @@ class ParallelExecutor:
                 initializer=_init_worker, initargs=(payload,))
         return self._pool
 
-    def map_documents(self,
-                      tasks: Iterable[tuple[str, Any]],
-                      ) -> Iterator[UnitOutcome]:
-        """Fan Stage II documents out; yields in submission order.
+    def _chunk(self, tasks: list, stage: str) -> list[list]:
+        """Split a stage's pending units into dispatch chunks.
 
-        Documents are coarse, unevenly sized units — chunk size 1
-        keeps the pool load-balanced.
+        Records the resolved batch size on the run stats (so reports
+        and benchmarks can attribute speedups to it) and warns — once
+        per stage, without failing — when an explicit ``batch_size``
+        exceeds the unit count, because the whole stage then rides in
+        a single task and the pool cannot balance at all.
+        """
+        size = resolve_batch_size(self._batch_size, len(tasks),
+                                  self.workers)
+        self.stats.batch_size[stage] = size
+        if (self._batch_size is not None and tasks
+                and self._batch_size > len(tasks)):
+            warnings.warn(
+                f"batch_size {self._batch_size} exceeds the "
+                f"{len(tasks)} dispatched unit(s) of stage {stage!r}; "
+                "the whole stage rides in one task", stacklevel=4)
+        return [tasks[i:i + size] for i in range(0, len(tasks), size)]
+
+    def map_documents(self, tasks: list[tuple[str, Any]], stage: str,
+                      ) -> Iterator[BatchOutcome]:
+        """Fan Stage II documents out in chunks; yields chunk outcomes
+        in submission order (documents are coarse units, so ``auto``
+        resolves to small chunks that keep the pool load-balanced).
         """
         return self._ensure_pool(None).map(
-            _stage2_unit, tasks, chunksize=1)
+            _stage2_batch, self._chunk(tasks, stage), chunksize=1)
 
     def map_tags(self, dictionary_json: str,
                  tasks: list[tuple[str, str]],
-                 ) -> Iterator[UnitOutcome]:
-        """Fan Stage III tagging out; yields in submission order.
-
-        Records are tiny uniform units, so they ship in chunks to
-        amortize the per-task IPC cost.
+                 ) -> Iterator[BatchOutcome]:
+        """Fan Stage III tagging out in chunks; yields chunk outcomes
+        in submission order.  Records are tiny uniform units — the
+        chunk is also the tagger's batch, so per-task overhead *and*
+        per-record tagging overhead amortize together.
         """
-        chunksize = max(1, len(tasks) // (self.workers * 8) or 1)
         return self._ensure_pool(dictionary_json).map(
-            _stage3_unit, tasks, chunksize=chunksize)
+            _stage3_batch, self._chunk(tasks, "tag"), chunksize=1)
 
     def close(self) -> None:
         """Tear the pool down, dropping queued (not yet running) work.

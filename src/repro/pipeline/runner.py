@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pickle
 import time
 import warnings
 from dataclasses import asdict, dataclass
@@ -68,7 +69,13 @@ from ..taxonomy import FailureCategory, FaultTag, category_of
 from .chaos import ChaosInjector, CrashController
 from .checkpoint import CheckpointStore, config_fingerprint
 from .config import PipelineConfig
-from .parallel import ParallelExecutor, ParallelStats, UnitOutcome
+from .parallel import (
+    BatchOutcome,
+    ParallelExecutor,
+    ParallelStats,
+    UnitOutcome,
+    iter_units,
+)
 from .resilience import QuarantineEntry, StageGuard
 from .stages import OcrStage, PipelineDiagnostics
 from .store import FailureDatabase
@@ -343,40 +350,63 @@ def _stage2_disengagements(documents, config: PipelineConfig,
     restored_docs = store.restored("documents") if store else {}
     units_c = obs.unit_counter("parse-documents")
     results = None
+    batcher = None
     if executor is not None:
-        results = executor.map_documents(
-            ("disengagement", document) for document in documents
-            if document.document_id not in restored_docs)
-    for index, document in enumerate(documents):
-        crash.reached_mid("mid-parse-documents", index, len(documents))
-        if units_c is not None:
-            units_c.inc()
-        entry = restored_docs.get(document.document_id)
-        if entry is not None and _restore_disengagement(
-                entry, diagnostics, database, guard,
-                raw_disengagements, raw_mileage):
-            checkpoint.restored_units += 1
-            obs.restored_unit("parse-documents", document.document_id)
-            continue
-        if results is None or entry is not None:
-            # Serial path — also the fallback for a unit whose
-            # checkpoint entry was corrupt (it was never dispatched,
-            # so it is recomputed inline, exactly like a serial run).
-            with obs.unit("parse-documents", document.document_id):
-                body = _process_disengagement(
-                    document, config, diagnostics, database, guard,
-                    ocr_stage, registry, raw_disengagements,
-                    raw_mileage, journal=store is not None)
-        else:
-            outcome = _tally(next(results), diagnostics.parallel)
-            obs.merged_unit("parse-documents", document.document_id,
-                            outcome.elapsed)
-            body = _merge_stage2(
-                outcome, "disengagement", diagnostics, database,
-                guard, raw_disengagements, raw_mileage)
+        pending = [("disengagement", document)
+                   for document in documents
+                   if document.document_id not in restored_docs]
         if store is not None:
-            store.append("documents", document.document_id, body)
-            checkpoint.recomputed_units += 1
+            batcher = _JournalBatcher(store, "documents")
+        results = iter_units(
+            executor.map_documents(pending, "parse-documents"),
+            _batch_folder("parse-documents", guard,
+                          diagnostics.parallel, batcher))
+    try:
+        for index, document in enumerate(documents):
+            crash.reached_mid("mid-parse-documents", index,
+                              len(documents))
+            if units_c is not None:
+                units_c.inc()
+            entry = restored_docs.get(document.document_id)
+            if entry is not None and _restore_disengagement(
+                    entry, diagnostics, database, guard,
+                    raw_disengagements, raw_mileage):
+                checkpoint.restored_units += 1
+                obs.restored_unit("parse-documents",
+                                  document.document_id)
+                continue
+            if results is None or entry is not None:
+                # Serial path — also the fallback for a unit whose
+                # checkpoint entry was corrupt (it was never
+                # dispatched, so it is recomputed inline, exactly
+                # like a serial run).
+                with obs.unit("parse-documents",
+                              document.document_id):
+                    body = _process_disengagement(
+                        document, config, diagnostics, database,
+                        guard, ocr_stage, registry,
+                        raw_disengagements, raw_mileage,
+                        journal=store is not None)
+            else:
+                outcome = next(results)
+                obs.merged_unit("parse-documents",
+                                document.document_id, outcome.elapsed)
+                body = _merge_stage2(
+                    outcome, "disengagement", diagnostics, database,
+                    guard, raw_disengagements, raw_mileage)
+            if store is not None:
+                if batcher is not None:
+                    batcher.append(document.document_id, body)
+                else:
+                    store.append("documents", document.document_id,
+                                 body)
+                checkpoint.recomputed_units += 1
+    finally:
+        # Buffered entries are completed units: journal them even
+        # when a crash/abort unwinds the loop, exactly as the serial
+        # per-unit appends would have survived via the writer buffer.
+        if batcher is not None:
+            batcher.flush()
 
 
 def _stage2_accidents(documents, config: PipelineConfig,
@@ -391,35 +421,50 @@ def _stage2_accidents(documents, config: PipelineConfig,
     restored_accidents = store.restored("accidents") if store else {}
     units_c = obs.unit_counter("accident-documents")
     results = None
+    batcher = None
     if executor is not None:
-        results = executor.map_documents(
-            ("accident", document) for document in documents
-            if document.document_id not in restored_accidents)
-    for document in documents:
-        if units_c is not None:
-            units_c.inc()
-        entry = restored_accidents.get(document.document_id)
-        if entry is not None and _restore_accident(
-                entry, diagnostics, database, guard):
-            checkpoint.restored_units += 1
-            obs.restored_unit("accident-documents",
-                              document.document_id)
-            continue
-        if results is None or entry is not None:
-            with obs.unit("accident-documents", document.document_id):
-                body = _process_accident(
-                    document, config, diagnostics, database, guard,
-                    ocr_stage, journal=store is not None)
-        else:
-            outcome = _tally(next(results), diagnostics.parallel)
-            obs.merged_unit("accident-documents",
-                            document.document_id, outcome.elapsed)
-            body = _merge_stage2(
-                outcome, "accident", diagnostics, database, guard,
-                None, None)
+        pending = [("accident", document) for document in documents
+                   if document.document_id not in restored_accidents]
         if store is not None:
-            store.append("accidents", document.document_id, body)
-            checkpoint.recomputed_units += 1
+            batcher = _JournalBatcher(store, "accidents")
+        results = iter_units(
+            executor.map_documents(pending, "accident-documents"),
+            _batch_folder("accident-documents", guard,
+                          diagnostics.parallel, batcher))
+    try:
+        for document in documents:
+            if units_c is not None:
+                units_c.inc()
+            entry = restored_accidents.get(document.document_id)
+            if entry is not None and _restore_accident(
+                    entry, diagnostics, database, guard):
+                checkpoint.restored_units += 1
+                obs.restored_unit("accident-documents",
+                                  document.document_id)
+                continue
+            if results is None or entry is not None:
+                with obs.unit("accident-documents",
+                              document.document_id):
+                    body = _process_accident(
+                        document, config, diagnostics, database,
+                        guard, ocr_stage, journal=store is not None)
+            else:
+                outcome = next(results)
+                obs.merged_unit("accident-documents",
+                                document.document_id, outcome.elapsed)
+                body = _merge_stage2(
+                    outcome, "accident", diagnostics, database, guard,
+                    None, None)
+            if store is not None:
+                if batcher is not None:
+                    batcher.append(document.document_id, body)
+                else:
+                    store.append("accidents", document.document_id,
+                                 body)
+                checkpoint.recomputed_units += 1
+    finally:
+        if batcher is not None:
+            batcher.flush()
 
 
 def _stage3_tags(filtered, dictionary, tagger,
@@ -431,41 +476,72 @@ def _stage3_tags(filtered, dictionary, tagger,
     restored_tags = store.restored("tags") if store else {}
     record_ids = [_record_id(record) for record in filtered]
     units_c = obs.unit_counter("tag")
+    pending = [(rid, record.description)
+               for rid, record in zip(record_ids, filtered)
+               if rid not in restored_tags]
     results = None
+    batcher = None
+    precomputed = None
     if executor is not None:
-        pending = [(rid, record.description)
-                   for rid, record in zip(record_ids, filtered)
-                   if rid not in restored_tags]
-        results = executor.map_tags(dictionary.to_json(), pending)
-    for index, record in enumerate(filtered):
-        crash.reached_mid("mid-tag", index, len(filtered))
-        if units_c is not None:
-            units_c.inc()
-        record_id = record_ids[index]
-        entry = restored_tags.get(record_id)
-        if entry is not None and _restore_tag(entry, record,
-                                              checkpoint):
-            checkpoint.restored_units += 1
-            obs.restored_unit("tag", record_id)
-            continue
-        if results is None or entry is not None:
-            with obs.unit("tag", record_id):
-                result = guard.run(
-                    "tag", record_id,
-                    lambda: tagger.tag(record.description),
-                    fallback=_unknown_tag)
-                record.tag = result.tag
-                record.category = result.category
-        else:
-            outcome = _tally(next(results), par)
-            obs.merged_unit("tag", record_id, outcome.elapsed)
-            _merge_tag(outcome, record, guard)
         if store is not None:
-            store.append("tags", record_id, {
-                "tag": record.tag.value,
-                "category": record.category.value,
-            })
-            checkpoint.recomputed_units += 1
+            batcher = _JournalBatcher(store, "tags")
+        results = iter_units(
+            executor.map_tags(dictionary.to_json(), pending),
+            _batch_folder("tag", guard, par, batcher))
+    elif pending:
+        # Serial runs tag through the batch-native entrypoint too:
+        # one tokenization/index pass over the whole stage, with each
+        # precomputed result adopted under the record's own guarded
+        # stage run — retries, chaos draws, fallbacks, and journal
+        # bytes are identical to the historical per-record loop.
+        precomputed = iter(
+            tagger.tag_batch([text for _, text in pending]))
+    try:
+        for index, record in enumerate(filtered):
+            crash.reached_mid("mid-tag", index, len(filtered))
+            if units_c is not None:
+                units_c.inc()
+            record_id = record_ids[index]
+            entry = restored_tags.get(record_id)
+            if entry is not None and _restore_tag(entry, record,
+                                                  checkpoint):
+                checkpoint.restored_units += 1
+                obs.restored_unit("tag", record_id)
+                continue
+            if results is not None and entry is None:
+                outcome = next(results)
+                obs.merged_unit("tag", record_id, outcome.elapsed)
+                _merge_tag(outcome, record, guard)
+            else:
+                with obs.unit("tag", record_id):
+                    if precomputed is not None and entry is None:
+                        pre = next(precomputed)
+                        result = guard.run("tag", record_id,
+                                           lambda: pre,
+                                           fallback=_unknown_tag)
+                    else:
+                        # Corrupt checkpoint entry: the record was
+                        # never dispatched or precomputed, so it is
+                        # re-tagged inline, exactly like a serial run.
+                        result = guard.run(
+                            "tag", record_id,
+                            lambda: tagger.tag(record.description),
+                            fallback=_unknown_tag)
+                    record.tag = result.tag
+                    record.category = result.category
+            if store is not None:
+                body = {
+                    "tag": record.tag.value,
+                    "category": record.category.value,
+                }
+                if batcher is not None:
+                    batcher.append(record_id, body)
+                else:
+                    store.append("tags", record_id, body)
+                checkpoint.recomputed_units += 1
+    finally:
+        if batcher is not None:
+            batcher.flush()
 
 
 # ----------------------------------------------------------------------
@@ -511,11 +587,79 @@ def _merge_stage2(outcome: UnitOutcome, kind: str,
     return body
 
 
-def _tally(outcome: UnitOutcome, par: ParallelStats) -> UnitOutcome:
-    """Account one pool-computed unit toward the parallel stats."""
-    par.parallel_units += 1
-    par.unit_compute_s += outcome.elapsed
-    return outcome
+class _JournalBatcher:
+    """Buffers one stage's journal appends for per-chunk flushing.
+
+    Entries accumulate in merge (corpus) order and land with one
+    buffered multi-line :meth:`~repro.pipeline.checkpoint.
+    CheckpointStore.append_many` per dispatch chunk, so the journal
+    file is line-for-line identical to a serial run's.  A crash can
+    additionally lose the current chunk's buffered entries (on top of
+    the writer's usual fsync window); resume simply recomputes them.
+    """
+
+    def __init__(self, store: CheckpointStore, name: str) -> None:
+        self._store = store
+        self._name = name
+        self._entries: list[tuple[str, dict]] = []
+
+    def append(self, unit_id: str, body: dict) -> None:
+        self._entries.append((unit_id, body))
+
+    def flush(self) -> None:
+        if self._entries:
+            self._store.append_many(self._name, self._entries)
+            self._entries.clear()
+
+
+def _batch_folder(stage: str, guard: StageGuard, par: ParallelStats,
+                  batcher: _JournalBatcher | None):
+    """The once-per-chunk merge hook for one stage's fan-out.
+
+    Fires when the coordinator pulls a chunk, right before its units
+    unpack: the previous chunk's journal buffer flushes (one
+    multi-line append per chunk), and the chunk-level sidecars — the
+    merged health delta, metrics dump, chaos count, and batch
+    accounting — fold exactly once.
+    """
+    counters = None
+    if guard.metrics is not None:
+        from ..obs.metrics import (
+            BATCH_PAYLOAD_BYTES_TOTAL, BATCH_TASKS_TOTAL,
+            BATCH_UNITS_TOTAL)
+
+        registry = guard.metrics
+        counters = (
+            registry.counter(BATCH_TASKS_TOTAL,
+                             "Dispatch chunks shipped to the pool",
+                             ("stage",)).labels(stage),
+            registry.counter(BATCH_UNITS_TOTAL,
+                             "Units that rode dispatch chunks",
+                             ("stage",)).labels(stage),
+            registry.counter(BATCH_PAYLOAD_BYTES_TOTAL,
+                             "Pickled chunk-outcome payload bytes",
+                             ("stage",)).labels(stage),
+        )
+
+    def fold(batch: BatchOutcome) -> None:
+        if batcher is not None:
+            batcher.flush()
+        par.batch_tasks += 1
+        par.parallel_units += batch.units
+        par.unit_compute_s += batch.elapsed
+        if batch.health is not None:
+            _fold_health_delta(batch.health, guard)
+        if guard.chaos is not None:
+            guard.chaos.injected += batch.injected
+        if batch.metrics is not None and guard.metrics is not None:
+            guard.metrics.merge(batch.metrics)
+        if counters is not None:
+            tasks_c, units_c, bytes_c = counters
+            tasks_c.inc()
+            units_c.inc(batch.units)
+            bytes_c.inc(len(pickle.dumps(batch)))
+
+    return fold
 
 
 def _merge_tag(outcome: UnitOutcome, record,
@@ -529,8 +673,25 @@ def _merge_tag(outcome: UnitOutcome, record,
 
 def _merge_worker_health(outcome: UnitOutcome,
                          guard: StageGuard) -> None:
-    """Fold a worker's per-unit health delta into the run health."""
-    par_stats, events = outcome.health
+    """Fold one unpacked unit's sidecars into the run health.
+
+    ``health`` is ``None`` for units whose chunk shipped one merged
+    delta (already folded by the chunk hook); per-unit deltas appear
+    only when the chunk carried a quarantine.  ``injected`` and
+    ``metrics`` are zero/``None`` on unpacked units — kept here so
+    hand-built per-unit outcomes (tests, benchmarks) merge fully.
+    """
+    if outcome.health is not None:
+        _fold_health_delta(outcome.health, guard)
+    if guard.chaos is not None:
+        guard.chaos.injected += outcome.injected
+    if outcome.metrics is not None and guard.metrics is not None:
+        guard.metrics.merge(outcome.metrics)
+
+
+def _fold_health_delta(delta: tuple, guard: StageGuard) -> None:
+    """Fold a ``(stages, events)`` health delta into the run health."""
+    par_stats, events = delta
     for name, (attempts, errors, retries, degradations,
                quarantined) in par_stats.items():
         stats = guard.health.stage(name)
@@ -540,10 +701,6 @@ def _merge_worker_health(outcome: UnitOutcome,
         stats.degradations += degradations
         stats.quarantined += quarantined
     guard.health.degradation_events.extend(events)
-    if guard.chaos is not None:
-        guard.chaos.injected += outcome.injected
-    if outcome.metrics is not None and guard.metrics is not None:
-        guard.metrics.merge(outcome.metrics)
 
 
 def _check_merged_thresholds(outcome: UnitOutcome,
@@ -553,8 +710,12 @@ def _check_merged_thresholds(outcome: UnitOutcome,
     The serial path checks the threshold exactly when a unit is
     quarantined, so the merge path checks only stages whose delta
     carries a quarantine — with the merged (run-global) stats, the
-    run aborts at the same unit with the same message.
+    run aborts at the same unit with the same message.  A quarantined
+    unit always arrives with a per-unit delta (its chunk switches to
+    ``unit_health``), so ``health`` is never ``None`` here.
     """
+    if outcome.health is None:  # pragma: no cover - invariant guard
+        return
     for name, counters in outcome.health[0].items():
         if counters[4]:  # quarantined
             guard.check_threshold(name)

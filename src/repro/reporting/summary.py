@@ -323,5 +323,11 @@ def _render_parallel_stats(parallel, w) -> None:
                  f"({parallel.unit_compute_s:.2f}s compute / "
                  f"{parallel.parallel_wall_s:.2f}s wall)")
     w(line)
+    if parallel.batch_tasks:
+        sizes = ", ".join(
+            f"{stage}={size}" for stage, size
+            in sorted(parallel.batch_size.items()))
+        w(f"  dispatch:      {parallel.batch_tasks} chunk task(s), "
+          f"batch size {sizes}")
     for stage, seconds in parallel.stage_wall_s.items():
         w(f"  {stage:14s} {seconds:.3f}s")

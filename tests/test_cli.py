@@ -32,6 +32,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_batch_size_defaults_to_auto(self):
+        args = build_parser().parse_args(["run"])
+        assert args.batch_size == "auto"
+
+    def test_invalid_batch_size_exits_2(self, capsys):
+        code = main(["run", "--batch-size", "lots"])
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_zero_batch_size_exits_2(self, capsys):
+        code = main(["run", "--batch-size", "0"])
+        assert code == 2
+        assert "batch_size" in capsys.readouterr().err
+
 
 class TestRun:
     def test_run_writes_database(self, nissan_db_path, capsys):

@@ -232,3 +232,108 @@ class TestOntology:
         system_tags = ontology.tags_in(FailureCategory.SYSTEM)
         assert FaultTag.SOFTWARE in system_tags
         assert FaultTag.PLANNER not in system_tags
+
+
+# ----------------------------------------------------------------------
+# Batch-native tagging: tag_batch is provably the per-unit loop.
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.nlp.textcache import (  # noqa: E402
+    TokenCache,
+    cached_tokens,
+    cached_tokens_batch,
+)
+
+#: Every word that appears in a seed phrase, plus filler — so random
+#: narratives exercise matches, multi-phrase votes, ties, and misses.
+_VOCAB = sorted({word
+                 for phrases in SEED_PHRASES.values()
+                 for phrase in phrases
+                 for word in phrase.split()}
+                | {"the", "a", "vehicle", "unexpectedly", "zzz"})
+
+narratives = st.lists(
+    st.lists(st.sampled_from(_VOCAB), min_size=0, max_size=12)
+    .map(" ".join),
+    min_size=0, max_size=20)
+
+
+class TestBatchTagging:
+    @pytest.fixture(scope="class")
+    def dictionary(self):
+        return FailureDictionary.from_seeds()
+
+    @settings(max_examples=60, deadline=None)
+    @given(texts=narratives)
+    def test_voting_tag_batch_equals_per_unit_loop(self, dictionary,
+                                                   texts):
+        tagger = VotingTagger(dictionary)
+        assert tagger.tag_batch(texts) == [tagger.tag(t)
+                                           for t in texts]
+
+    @settings(max_examples=60, deadline=None)
+    @given(texts=narratives)
+    def test_first_match_tag_batch_equals_per_unit_loop(
+            self, dictionary, texts):
+        tagger = FirstMatchTagger(dictionary)
+        assert tagger.tag_batch(texts) == [tagger.tag(t)
+                                           for t in texts]
+
+    def test_empty_batch(self, dictionary):
+        assert VotingTagger(dictionary).tag_batch([]) == []
+        assert FirstMatchTagger(dictionary).tag_batch([]) == []
+
+    def test_duplicates_share_results(self, dictionary):
+        # Duplicate narratives resolve to the same cached token list,
+        # so the batch memo hands back the very same TagResult.
+        tagger = VotingTagger(dictionary)
+        text = "sun glare blinded the forward camera"
+        results = tagger.tag_batch([text, "debris on road", text])
+        assert results[0] is results[2]
+        assert results[0] == tagger.tag(text)
+
+    def test_evaluation_uses_batch_path(self, dictionary):
+        # evaluate_tagger prefers tag_batch when present; parity with
+        # the per-unit loop keeps the report identical either way.
+        records = [
+            DisengagementRecord(
+                manufacturer="X", month="2018-01", description=text,
+                truth_tag=FaultTag.ENVIRONMENT)
+            for text in ("sun glare ahead", "debris in lane",
+                         "heavy rain on sensors")]
+        tagger = VotingTagger(dictionary)
+        report = evaluate_tagger(tagger, records)
+        assert report.total == 3
+        assert report.correct_tag == 3
+
+
+class TestTokensBatch:
+    @settings(max_examples=60, deadline=None)
+    @given(texts=narratives)
+    def test_batch_equals_per_text_calls(self, texts):
+        assert cached_tokens_batch(texts) == [cached_tokens(t)
+                                              for t in texts]
+
+    def test_duplicates_return_same_list_object(self):
+        cache = TokenCache(capacity=8)
+        text = "lidar returns degraded by sun glare"
+        first, second = cache.tokens_batch([text, text])
+        assert first is second
+
+    def test_hit_miss_accounting_matches_sequential(self):
+        # First occurrence of an uncached text is a miss; later
+        # duplicates in the same batch are hits — exactly as N
+        # sequential tokens() calls would count.
+        batch = ["alpha beta", "gamma delta", "alpha beta"]
+        batched = TokenCache(capacity=8)
+        batched.tokens_batch(batch)
+        sequential = TokenCache(capacity=8)
+        for text in batch:
+            sequential.tokens(text)
+        assert batched.stats() == sequential.stats()
+
+    def test_empty_batch(self):
+        assert TokenCache(capacity=4).tokens_batch([]) == []

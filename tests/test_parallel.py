@@ -11,6 +11,7 @@ plumbing, the inverted dictionary index, and the token memo.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -24,11 +25,15 @@ from repro.pipeline import (
     PipelineConfig,
     ParallelStats,
     SimulatedCrash,
+    config_fingerprint,
     process_corpus,
 )
 from repro.pipeline.parallel import (
+    BATCH_AUTO_CHUNKS_PER_WORKER,
+    BATCH_SIZE_CLAMP,
     PROCESS_POOL_MIN_WORKERS,
     WORKER_MODES,
+    resolve_batch_size,
     worker_config,
 )
 from repro.synth import generate_corpus
@@ -102,6 +107,52 @@ class TestConfig:
         assert stripped.seed == config.seed
         assert stripped.failure_policy == config.failure_policy
 
+    def test_worker_config_strips_batch_size(self):
+        # Chunking is a coordinator decision; the worker payload must
+        # be identical at every batch size.
+        config = PipelineConfig(**SMALL, workers=4, batch_size=7)
+        assert worker_config(config).batch_size is None
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_batch_size_below_one_rejected(self, bad):
+        with pytest.raises(ValueError, match="batch_size"):
+            PipelineConfig(batch_size=bad)
+
+    def test_batch_size_one_and_auto_accepted(self):
+        assert PipelineConfig(batch_size=1).batch_size == 1
+        assert PipelineConfig(batch_size=None).batch_size is None
+
+    def test_batch_size_excluded_from_fingerprint(self):
+        # Like workers/worker_mode, batch size is an execution
+        # strategy with byte-identical output — a resume may change
+        # it and still adopt the pre-crash checkpoints.
+        plain = config_fingerprint(PipelineConfig(**SMALL))
+        batched = config_fingerprint(
+            PipelineConfig(**SMALL, workers=2, batch_size=7))
+        assert plain == batched
+
+
+class TestResolveBatchSize:
+    def test_explicit_size_wins(self):
+        assert resolve_batch_size(7, 1000, workers=4) == 7
+
+    def test_auto_targets_chunks_per_worker(self):
+        n, workers = 800, 2
+        size = resolve_batch_size(None, n, workers)
+        assert size == n // (workers * BATCH_AUTO_CHUNKS_PER_WORKER)
+
+    def test_auto_rounds_up(self):
+        # 10 units / (2 workers * 4) -> ceil(1.25) = 2 per chunk.
+        assert resolve_batch_size(None, 10, workers=2) == 2
+
+    def test_auto_clamped_to_cap(self):
+        assert resolve_batch_size(None, 10 ** 6, workers=1) \
+            == BATCH_SIZE_CLAMP
+
+    def test_auto_never_below_one(self):
+        assert resolve_batch_size(None, 1, workers=8) == 1
+        assert resolve_batch_size(None, 0, workers=8) == 1
+
 
 # ----------------------------------------------------------------------
 # Determinism hammer: parallel output is byte-identical to serial.
@@ -158,6 +209,138 @@ class TestDeterminism:
         serial = run_json(corpus)
         parallel = run_json(corpus, workers=2)
         assert parallel.diagnostics.tagging == serial.diagnostics.tagging
+
+
+# ----------------------------------------------------------------------
+# Chunked dispatch: byte-identical at every (workers, batch_size).
+# ----------------------------------------------------------------------
+
+class TestBatchedDispatch:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("batch_size", [1, 3, None, 10_000])
+    def test_matrix_byte_identical(self, corpus, serial_json, workers,
+                                   batch_size):
+        with warnings.catch_warnings():
+            # batch_size=10_000 exceeds the unit count by design; the
+            # oversize warning has its own test below.
+            warnings.simplefilter("ignore")
+            result = run_json(corpus, workers=workers,
+                              batch_size=batch_size)
+        assert result.database.to_json() == serial_json
+
+    def test_oversized_batch_warns_but_completes(self, corpus,
+                                                 serial_json):
+        with pytest.warns(UserWarning, match="batch_size"):
+            result = run_json(corpus, workers=2, batch_size=10_000)
+        assert result.database.to_json() == serial_json
+
+    def test_auto_batch_never_warns(self, corpus, serial_json):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_json(corpus, workers=2)
+        assert result.database.to_json() == serial_json
+
+    def test_quarantine_mid_batch_byte_identical(self):
+        # Six document units at rate=0.5 over chunks of 3 put
+        # quarantined units at intra-chunk positions; entries must
+        # match field for field (incl. traceback).
+        corpus = generate_corpus(
+            seed=7, manufacturers=["Nissan", "Volkswagen", "Delphi",
+                                   "Tesla"])
+        config = dict(seed=7, ocr_enabled=False,
+                      dictionary_mode="seed",
+                      chaos=ChaosConfig(stage="parse", rate=0.5,
+                                        kind="exception"),
+                      failure_policy="quarantine")
+        serial = process_corpus(corpus, PipelineConfig(**config))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # 2 accident docs < 3
+            batched = process_corpus(
+                corpus, PipelineConfig(**config, workers=2,
+                                       batch_size=3))
+        assert (batched.database.to_json()
+                == serial.database.to_json())
+        assert len(serial.database.quarantine) > 1
+        for ours, theirs in zip(batched.database.quarantine,
+                                serial.database.quarantine):
+            assert ours == theirs
+
+    def test_transient_chaos_health_parity(self, corpus):
+        chaos = ChaosConfig(stage="tag", rate=0.4, kind="transient")
+        serial = run_json(corpus, chaos=chaos)
+        batched = run_json(corpus, chaos=chaos, workers=2,
+                           batch_size=3)
+        assert (batched.database.to_json()
+                == serial.database.to_json())
+        assert (batched.diagnostics.health.summary()
+                == serial.diagnostics.health.summary())
+
+    def test_fail_fast_mid_chunk_same_exception(self, corpus):
+        # The failing unit lands mid-chunk; units after it in the
+        # chunk must never run, so the raised error matches serial.
+        chaos = ChaosConfig(stage="parse", rate=0.3, kind="exception")
+        messages = []
+        for overrides in ({}, {"workers": 2, "batch_size": 5}):
+            with pytest.raises(PipelineError) as excinfo:
+                run_json(corpus, chaos=chaos,
+                         failure_policy="fail_fast", **overrides)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_threshold_abort_mid_batch(self, corpus):
+        chaos = ChaosConfig(stage="parse", rate=0.9, kind="exception")
+        outcomes = []
+        for overrides in ({}, {"workers": 2, "batch_size": 4}):
+            try:
+                run_json(corpus, chaos=chaos,
+                         failure_policy="threshold",
+                         max_error_rate=0.05, **overrides)
+                outcomes.append("completed")
+            except PipelineError as exc:
+                outcomes.append(str(exc))
+        assert outcomes[0] == outcomes[1]
+
+    @pytest.mark.parametrize("point", ["mid-parse-documents",
+                                       "mid-tag"])
+    def test_crash_mid_batch_resumes_identically(
+            self, corpus, serial_json, tmp_path, point):
+        # The kill lands mid-chunk; completed units buffered by the
+        # journal batcher must survive the unwind so the resume skips
+        # them, exactly as serial per-unit appends would.
+        ckpt = tmp_path / point
+        with pytest.raises(SimulatedCrash):
+            run_json(corpus, workers=2, batch_size=3,
+                     checkpoint_dir=ckpt, crash=CrashPoint(at=point))
+        resumed = run_json(corpus, checkpoint_dir=ckpt, resume=True,
+                           workers=2, batch_size=3)
+        assert resumed.database.to_json() == serial_json
+        assert resumed.diagnostics.health.checkpoint.restored_units > 0
+
+    def test_batch_stats_populated(self, corpus):
+        result = run_json(corpus, workers=2, batch_size=3)
+        par = result.diagnostics.parallel
+        assert par.batch_tasks > 0
+        assert par.batch_size["tag"] == 3
+        assert par.batch_size["parse-documents"] == 3
+        summary = par.summary()
+        assert summary["batch_tasks"] == par.batch_tasks
+        assert summary["batch_size"]["tag"] == 3
+        json.dumps(summary)  # JSON-friendly
+
+    def test_auto_batch_size_recorded(self, corpus):
+        result = run_json(corpus, workers=2)
+        sizes = result.diagnostics.parallel.batch_size
+        n_tagged = len(result.database.disengagements)
+        assert sizes["tag"] == resolve_batch_size(None, n_tagged,
+                                                  workers=2)
+
+    def test_chunks_cut_task_count(self, corpus):
+        per_unit = run_json(corpus, workers=2, batch_size=1)
+        chunked = run_json(corpus, workers=2, batch_size=8)
+        assert (chunked.diagnostics.parallel.batch_tasks
+                < per_unit.diagnostics.parallel.batch_tasks)
+        assert (chunked.diagnostics.parallel.parallel_units
+                == per_unit.diagnostics.parallel.parallel_units)
 
 
 # ----------------------------------------------------------------------
