@@ -73,9 +73,11 @@ from .query import (
     QueryEngine,
     QueryResult,
     QueryServer,
+    ShardedIndex,
     Snapshot,
     SnapshotManager,
 )
+from .serving import PreforkServer, serve_prefork
 from .storage import (
     ColumnarFailureDatabase,
     detect_storage_format,
@@ -108,12 +110,15 @@ __all__ = [
     "load_database",
     "save_columnar",
     # Query & serving.
+    "PreforkServer",
     "Query",
     "QueryEngine",
     "QueryResult",
     "QueryServer",
+    "ShardedIndex",
     "Snapshot",
     "SnapshotManager",
+    "serve_prefork",
     # Observability.
     "MetricsRegistry",
     "Observability",

@@ -598,16 +598,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_prefork(args: argparse.Namespace) -> int:
+    from .serving import serve_prefork
+
+    if args.db:
+        db_path = args.db
+    else:
+        # Workers load the database from a file, so a pipeline-built
+        # database must hit disk first.
+        import tempfile
+
+        if not args.quiet:
+            print("no --db given; running the pipeline first...",
+                  file=sys.stderr)
+        db = run_pipeline(PipelineConfig(seed=args.seed)).database
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", prefix="repro-db-",
+            delete=False)
+        handle.close()
+        db.save(handle.name)
+        db_path = handle.name
+    serve_prefork(db_path, host=args.host, port=args.port,
+                  processes=args.processes,
+                  cache_size=args.cache_size,
+                  max_inflight=args.max_inflight,
+                  deadline_s=args.deadline,
+                  index_backend=args.index_backend,
+                  shards=args.shards,
+                  verbose=not args.quiet,
+                  watch=args.watch,
+                  watch_interval_s=args.watch_interval)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .query import QueryServer
     from .reporting.summary import render_query_stats
 
+    if args.processes:
+        return _cmd_serve_prefork(args)
     engine_db = _load_db(args)
     server = QueryServer(engine_db, host=args.host, port=args.port,
                          cache_size=args.cache_size,
                          verbose=not args.quiet,
                          max_inflight=args.max_inflight,
-                         deadline_s=args.deadline)
+                         deadline_s=args.deadline,
+                         index_backend=args.index_backend,
+                         shards=args.shards)
     if args.watch:
         server.watch(args.watch, args.watch_interval)
     if not args.quiet:
@@ -868,6 +905,23 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-request budget; a blown deadline "
                             "returns a structured 503 (0 = none; "
+                            "default: %(default)s)")
+    serve.add_argument("--processes", type=int, default=0,
+                       metavar="N",
+                       help="pre-fork N worker processes sharing the "
+                            "port (SO_REUSEPORT where available) with "
+                            "crash-respawn and graceful drain; 0 = "
+                            "single-process threaded server "
+                            "(default: %(default)s)")
+    serve.add_argument("--index-backend", default="monolithic",
+                       choices=("monolithic", "sharded"),
+                       help="index layout: one monolithic index, or "
+                            "manufacturer shards with byte-identical "
+                            "responses (default: %(default)s)")
+    serve.add_argument("--shards", type=int, default=8,
+                       metavar="N",
+                       help="shard count for --index-backend sharded "
+                            "(capped at the manufacturer count; "
                             "default: %(default)s)")
     serve.set_defaults(handler=_cmd_serve)
 

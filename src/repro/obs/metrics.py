@@ -81,6 +81,14 @@ BATCH_UNITS_TOTAL = "repro_batch_units_total"
 #: Parallel: pickled chunk-outcome payload bytes (payload/task =
 #: bytes/tasks); an estimate of pipe traffic, measured coordinator-side.
 BATCH_PAYLOAD_BYTES_TOTAL = "repro_batch_payload_bytes_total"
+#: Pre-fork serving: per-worker identity gauge (always 1, labelled by
+#: worker id) — the aggregated ``/metrics`` scrape proves which
+#: workers contributed by which series are present.
+SERVING_WORKER_UP = "repro_serving_worker_up"
+#: Pre-fork serving: generation the worker is currently serving.
+SERVING_WORKER_GENERATION = "repro_serving_worker_generation"
+#: Pre-fork serving: crash respawns performed by the master.
+SERVING_WORKER_RESTARTS = "repro_serving_worker_restarts_total"
 
 #: Fixed latency bucket upper bounds in seconds (+Inf is implicit).
 DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,

@@ -34,28 +34,38 @@ Quickstart::
 
 from .cache import CacheStats, LruCache
 from .engine import (
+    DEFAULT_SHARDS,
     GROUP_BYS,
+    INDEX_BACKENDS,
     METRICS,
     Query,
     QueryEngine,
     QueryResult,
     to_jsonable,
 )
-from .index import DatabaseIndex, accident_id, disengagement_id
+from .index import (
+    DatabaseIndex,
+    ShardedIndex,
+    accident_id,
+    disengagement_id,
+)
 from .server import QueryServer, serve
 from .snapshot import DirectoryWatcher, Snapshot, SnapshotManager
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_SHARDS",
     "DatabaseIndex",
     "DirectoryWatcher",
     "GROUP_BYS",
+    "INDEX_BACKENDS",
     "LruCache",
     "METRICS",
     "Query",
     "QueryEngine",
     "QueryResult",
     "QueryServer",
+    "ShardedIndex",
     "Snapshot",
     "SnapshotManager",
     "accident_id",

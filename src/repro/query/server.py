@@ -2,47 +2,77 @@
 
 A :class:`~http.server.ThreadingHTTPServer` front end for
 :class:`~repro.query.engine.QueryEngine`, hardened for always-on
-serving.  Endpoints:
+serving.  The API surface is **versioned**: every endpoint lives
+under ``/v1/`` and the unversioned paths from earlier releases keep
+working as deprecated aliases.
 
-=========================  ==========================================
-``GET /healthz``           liveness: status, version, db fingerprint
-``GET /readyz``            readiness: snapshot generation + degraded
-                           state (distinct from liveness — see below)
-``GET /stats``             engine statistics (index + cache counters)
-``GET /manufacturers``     manufacturers present in the database
-``GET /metrics/dpm``       per-manufacturer DPM summaries
-``GET /metrics/apm``       per-manufacturer APM summaries (Table VII)
-``GET /metrics/dpa``       per-manufacturer DPA summaries (Table VI)
-``GET|POST /query``        the full typed query surface
-=========================  ==========================================
+==============================  ==================================
+``GET /v1/healthz``             liveness: status, version, db
+                                fingerprint
+``GET /v1/readyz``              readiness: snapshot generation +
+                                degraded state (distinct from
+                                liveness — see below)
+``GET /v1/stats``               engine statistics (index + cache
+                                counters)
+``GET /v1/manufacturers``       manufacturers in the database
+                                (paginable)
+``GET /v1/metrics/dpm``         per-manufacturer DPM summaries
+``GET /v1/metrics/apm``         per-manufacturer APM (Table VII)
+``GET /v1/metrics/dpa``         per-manufacturer DPA (Table VI)
+``GET|POST /v1/query``          the full typed query surface
+                                (paginable when grouped)
+``GET /metrics``                Prometheus text exposition
+                                (infrastructure route, unversioned)
+==============================  ==================================
 
-``GET /query`` reads the query from the URL (``?metric=dpm&group_by=
-manufacturer&manufacturer=Waymo&month_from=2015-01``; repeat
-``manufacturer`` to filter on several); ``POST /query`` takes the
-same fields as a JSON object.  The ``/metrics/*`` shortcuts accept
-the filter parameters too.
+**Versioning & deprecation.**  The unversioned legacy paths
+(``/healthz``, ``/query``, …) answer identically to their ``/v1``
+canonical forms but carry a ``Deprecation: true`` header and a
+``Link: </v1/...>; rel="successor-version"`` pointer.  For metrics,
+an alias folds into its canonical route's label so per-route
+cardinality stays bounded.
 
-Every response is JSON except ``GET /metrics``, which serves the
-process metrics registry in the Prometheus text exposition format.
-Errors are structured: 400 carries ``{"error": ...}`` for an invalid
-query, 404 for an unknown path, 422 when the database is too thin for
-the requested statistic, and any unexpected handler failure is a
-**sanitized** 500 — ``{"error": "internal server error"}``, never a
-traceback or internal detail on the wire.
+**Error envelope.**  Every non-2xx response carries the same
+structured body::
 
-**Liveness vs readiness.**  ``/healthz`` answers "is the process up"
-and is always 200 while the server runs.  ``/readyz`` answers "should
-you send traffic": 200 ``ok`` normally, 200 ``degraded`` when the
-last snapshot-swap candidate was quarantined (we still serve, from
-the last-good generation), 503 ``draining`` during graceful shutdown.
+    {"error": {"code": "<machine-readable>",
+               "message": "<human-readable>",
+               "detail": <extra context or null>}}
 
-**Admission control.**  At most ``max_inflight`` requests are handled
-concurrently; excess load is shed with a structured
+Codes: ``invalid_query`` / ``bad_json`` / ``invalid_cursor`` /
+``stale_cursor`` (400), ``not_found`` (404), ``insufficient_data``
+(422), ``internal`` (500, always sanitized — never a traceback on
+the wire), ``overloaded`` / ``draining`` / ``deadline_exceeded``
+(503, with ``Retry-After`` and a ``retry_after_s`` detail field).
+
+**Pagination.**  List-shaped responses (``/v1/manufacturers`` and
+grouped ``/v1/query`` results) accept ``limit`` and ``cursor``.
+Cursors are opaque, deterministic, and derived from the snapshot
+fingerprint — a cursor issued against one generation is rejected as
+``stale_cursor`` after a hot swap, so a paging client can never
+silently blend generations.  Requests without either parameter get
+the exact unpaginated body earlier releases served.
+
+``GET /v1/query`` reads the query from the URL (``?metric=dpm&
+group_by=manufacturer&manufacturer=Waymo&month_from=2015-01``;
+repeat ``manufacturer`` to filter on several); ``POST /v1/query``
+takes the same fields as a JSON object.  The ``/v1/metrics/*``
+shortcuts accept the filter parameters too.
+
+**Liveness vs readiness.**  ``/v1/healthz`` answers "is the process
+up" and is always 200 while the server runs.  ``/v1/readyz`` answers
+"should you send traffic": 200 ``ok`` normally, 200 ``degraded``
+when the last snapshot-swap candidate was quarantined (we still
+serve, from the last-good generation), 503 ``draining`` during
+graceful shutdown.
+
+**Admission control.**  At most ``max_inflight`` requests are
+handled concurrently; excess load is shed with a structured
 ``503 + Retry-After`` instead of queueing without bound.  Each
 admitted request gets a ``deadline_s`` budget; blowing it returns a
-structured 503 naming the deadline.  ``/healthz``, ``/readyz``, and
-the ``/metrics`` exposition are exempt — health probes and scrapes
-must work precisely when the server is saturated.
+structured 503 naming the deadline.  ``/v1/healthz``,
+``/v1/readyz``, and the ``/metrics`` exposition are exempt — health
+probes and scrapes must work precisely when the server is saturated.
 
 **Consistency.**  Each request captures the live
 :class:`~repro.query.snapshot.Snapshot` exactly once and answers
@@ -52,12 +82,14 @@ generations in one response.
 
 from __future__ import annotations
 
+import base64
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
@@ -78,37 +110,150 @@ from ..obs.metrics import (
 )
 from ..pipeline.chaos import ServingChaos
 from ..pipeline.store import FailureDatabase
-from .engine import Query, QueryEngine
+from .engine import DEFAULT_SHARDS, Query, QueryEngine
 from .snapshot import DirectoryWatcher, Snapshot, SnapshotManager
 
-#: Metric families reachable as ``/metrics/<name>`` shortcuts.
+#: Metric families reachable as ``/v1/metrics/<name>`` shortcuts.
 METRIC_SHORTCUTS = ("dpm", "apm", "dpa")
+
+#: The current API version prefix.
+API_VERSION = "v1"
+
+#: Canonical (versioned) API routes.
+_V1_ROUTES = frozenset(
+    {"/v1/healthz", "/v1/readyz", "/v1/stats", "/v1/manufacturers",
+     "/v1/query"}
+    | {f"/v1/metrics/{name}" for name in METRIC_SHORTCUTS})
+
+#: Legacy unversioned alias -> canonical ``/v1`` route.  Aliases
+#: answer identically but carry a ``Deprecation`` header, and fold
+#: into the canonical route's metric label so per-route cardinality
+#: stays bounded.  ``/metrics`` (the Prometheus exposition) is *not*
+#: an alias — it is the unversioned infrastructure route.
+LEGACY_ALIASES: Mapping[str, str] = {
+    route[len("/v1"):]: route for route in _V1_ROUTES}
 
 #: Routes the request metrics label individually; anything else is
 #: folded into ``<unknown>`` so scanners can't explode cardinality.
-_KNOWN_ROUTES = frozenset(
-    {"/", "/healthz", "/readyz", "/stats", "/manufacturers", "/query",
-     "/metrics"} | {f"/metrics/{name}" for name in METRIC_SHORTCUTS})
+_KNOWN_ROUTES = _V1_ROUTES | {"/", "/metrics"}
 
-#: Routes exempt from admission control and deadlines: probes and
-#: scrapes must answer precisely when the server is saturated or
-#: draining.
-_EXEMPT_ROUTES = frozenset({"/healthz", "/readyz", "/metrics"})
+#: Canonical routes exempt from admission control and deadlines:
+#: probes and scrapes must answer precisely when the server is
+#: saturated or draining.  (Legacy aliases resolve to canonical
+#: before this check, so ``/healthz`` is exempt too.)
+_EXEMPT_ROUTES = frozenset({"/v1/healthz", "/v1/readyz", "/metrics"})
 
-#: ``Retry-After`` seconds suggested on shed/drain 503s.
+#: ``Retry-After`` seconds suggested on shed/drain/deadline 503s.
 RETRY_AFTER_S = 1
+
+#: How many fingerprint characters a page cursor embeds.
+_CURSOR_FP_CHARS = 12
+
+
+def error_envelope(code: str, message: str,
+                   detail: Any = None) -> dict[str, Any]:
+    """The unified error body every non-2xx response carries."""
+    return {"error": {"code": code, "message": message,
+                      "detail": detail}}
+
+
+class _CursorError(Exception):
+    """A bad page cursor (carries the envelope code to use)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode_cursor(fingerprint: str, offset: int) -> str:
+    """Encode an opaque, deterministic page cursor.
+
+    The cursor embeds a fingerprint prefix so it can only be redeemed
+    against the snapshot that issued it — paging across a hot swap is
+    a ``stale_cursor`` error, never a silent blend of generations.
+    """
+    token = f"{fingerprint[:_CURSOR_FP_CHARS]}:{offset}"
+    return base64.urlsafe_b64encode(
+        token.encode("ascii")).decode("ascii").rstrip("=")
+
+
+def decode_cursor(cursor: str, fingerprint: str) -> int:
+    """Decode a page cursor back to an offset, or raise.
+
+    Raises :class:`_CursorError` with ``invalid_cursor`` for a
+    malformed token and ``stale_cursor`` for a token minted by a
+    different snapshot generation.
+    """
+    try:
+        padded = cursor + "=" * (-len(cursor) % 4)
+        token = base64.urlsafe_b64decode(
+            padded.encode("ascii")).decode("ascii")
+        prefix, sep, offset_text = token.partition(":")
+        if not sep:
+            raise ValueError(token)
+        offset = int(offset_text)
+        if offset < 0:
+            raise ValueError(offset)
+    except (ValueError, UnicodeError) as exc:
+        raise _CursorError(
+            "invalid_cursor",
+            f"cursor {cursor!r} is not a valid page cursor") from exc
+    if prefix != fingerprint[:_CURSOR_FP_CHARS]:
+        raise _CursorError(
+            "stale_cursor",
+            "cursor was issued against a different database snapshot; "
+            "restart pagination from the first page")
+    return offset
+
+
+def _page_args(limit_value: Any,
+               cursor_value: Any) -> tuple[int | None, str | None]:
+    """Validate raw ``limit``/``cursor`` values from either transport."""
+    limit: int | None = None
+    if limit_value is not None:
+        try:
+            limit = int(limit_value)
+        except (TypeError, ValueError):
+            raise QueryError(
+                f"limit must be a positive integer, "
+                f"got {limit_value!r}") from None
+        if limit < 1:
+            raise QueryError(
+                f"limit must be a positive integer, got {limit}")
+    cursor = None
+    if cursor_value is not None:
+        cursor = str(cursor_value)
+    return limit, cursor
+
+
+def _paginate(items: list, fingerprint: str, limit: int | None,
+              cursor: str | None) -> tuple[list, dict[str, Any]]:
+    """Slice one stable-ordered item list into a page + page info."""
+    offset = decode_cursor(cursor, fingerprint) if cursor else 0
+    size = limit if limit is not None else max(len(items) - offset, 0)
+    window = items[offset:offset + size]
+    next_offset = offset + len(window)
+    next_cursor = (encode_cursor(fingerprint, next_offset)
+                   if next_offset < len(items) else None)
+    page = {
+        "limit": limit,
+        "offset": offset,
+        "total": len(items),
+        "next_cursor": next_cursor,
+    }
+    return window, page
 
 
 def _query_from_params(params: Mapping[str, list[str]]) -> Query:
-    """Build a query from URL parameters (``GET /query`` and the
-    ``/metrics/*`` filters)."""
+    """Build a query from URL parameters (``GET /v1/query`` and the
+    ``/v1/metrics/*`` filters)."""
     known = {"metric", "group_by", "manufacturer", "manufacturers",
              "month_from", "month_to", "tag", "category"}
     unknown = sorted(set(params) - known)
     if unknown:
         raise QueryError(
             f"unknown query parameter(s): {', '.join(unknown)}; "
-            f"known: {', '.join(sorted(known))}")
+            f"known: {', '.join(sorted(known | {'limit', 'cursor'}))}")
     data: dict[str, Any] = {}
     if "metric" in params:
         data["metric"] = params["metric"][-1]
@@ -142,17 +287,45 @@ class _QueryHTTPServer(ThreadingHTTPServer):
     max_inflight: int = 0
     deadline_s: float = 0.0
     chaos: ServingChaos | None = None
+    #: Override for the ``/metrics`` body (the pre-fork worker plugs
+    #: in cross-worker aggregation here); ``None`` renders the local
+    #: registry.
+    metrics_renderer: Callable[[MetricsRegistry], str] | None = None
     http_requests = None
     http_latency = None
     shed_total = None
     timeout_total = None
     inflight_gauge = None
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(self, server_address, handler_class, *,
+                 reuse_port: bool = False,
+                 listen_socket: socket.socket | None = None) -> None:
+        self._reuse_port = reuse_port
+        if listen_socket is not None:
+            # Adopt an already-bound, already-listening socket (the
+            # pre-fork fallback on platforms without SO_REUSEPORT:
+            # the master listens once, every forked worker accepts
+            # from the shared socket).
+            super().__init__(listen_socket.getsockname()[:2],
+                             handler_class, bind_and_activate=False)
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()[:2]
+            host, port = self.server_address
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
+        else:
+            super().__init__(server_address, handler_class)
         self._admission = threading.Condition()
         self._inflight = 0
         self._draining = False
+
+    def server_bind(self) -> None:
+        if self._reuse_port and hasattr(socket, "SO_REUSEPORT"):
+            # Pre-fork mode: every worker binds its own socket to the
+            # same port and the kernel load-balances accepts.
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     # -- admission -----------------------------------------------------
 
@@ -213,6 +386,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = f"repro-query/{__version__}"
     protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; without TCP_NODELAY
+    # Nagle holds the second one for the peer's delayed ACK (~40ms
+    # per request on keep-alive connections).
+    disable_nagle_algorithm = True
     server: _QueryHTTPServer
 
     # -- plumbing ------------------------------------------------------
@@ -242,6 +419,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_deprecated", False):
+            # RFC 8594-style deprecation signal on legacy aliases.
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f'<{self._route}>; rel="successor-version"')
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -265,11 +447,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _begin(self, path: str) -> str:
         """Per-request state reset (handlers are reused across
-        keep-alive requests on one connection)."""
+        keep-alive requests on one connection).
+
+        Resolves legacy aliases to their canonical ``/v1`` route —
+        everything downstream (routing, admission exemption, metric
+        labels) sees only canonical routes.
+        """
         self._started = time.perf_counter()
         self._snapshot = self.server.snapshots.current()
         self._admitted = False
         route = urlsplit(path).path.rstrip("/") or "/"
+        canonical = LEGACY_ALIASES.get(route)
+        self._deprecated = canonical is not None
+        if canonical is not None:
+            route = canonical
         self._route = (route if route in _KNOWN_ROUTES
                        else "<unknown>")
         return route
@@ -291,8 +482,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.shed_total.inc()
         self._send_json(
             503,
-            {"error": f"server is {reason}; retry later",
-             "reason": reason, "retry_after_s": RETRY_AFTER_S},
+            error_envelope(reason, f"server is {reason}; retry later",
+                           {"retry_after_s": RETRY_AFTER_S}),
             headers={"Retry-After": str(RETRY_AFTER_S)})
         return False
 
@@ -317,28 +508,40 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             status, payload = handler(*args)
         except QueryError as exc:
-            status, payload = 400, {"error": str(exc)}
+            status, payload = 400, error_envelope(
+                "invalid_query", str(exc))
+        except _CursorError as exc:
+            status, payload = 400, error_envelope(exc.code, str(exc))
         except InsufficientDataError as exc:
-            status, payload = 422, {"error": str(exc)}
+            status, payload = 422, error_envelope(
+                "insufficient_data", str(exc))
         except Exception as exc:
             # Sanitized: whatever blew up, the wire sees no detail.
             self.log_error("unhandled error on %s: %r",
                            self._route, exc)
-            status, payload = 500, {"error": "internal server error"}
+            status, payload = 500, error_envelope(
+                "internal", "internal server error")
         elapsed = self._deadline_exceeded()
         if elapsed is not None:
             if self.server.timeout_total is not None:
                 self.server.timeout_total.inc()
             self._send_json(
                 503,
-                {"error": f"deadline exceeded: request took "
-                          f"{elapsed:.3f}s against a "
-                          f"{self.server.deadline_s:.3f}s budget",
-                 "reason": "deadline",
-                 "retry_after_s": RETRY_AFTER_S},
+                error_envelope(
+                    "deadline_exceeded",
+                    f"deadline exceeded: request took {elapsed:.3f}s "
+                    f"against a {self.server.deadline_s:.3f}s budget",
+                    {"elapsed_s": round(elapsed, 3),
+                     "deadline_s": self.server.deadline_s,
+                     "retry_after_s": RETRY_AFTER_S}),
                 headers={"Retry-After": str(RETRY_AFTER_S)})
             return
         self._send_json(status, payload)
+
+    def _not_found(self) -> None:
+        self._send_json(404, error_envelope(
+            "not_found", f"unknown path {self.path!r}",
+            {"api_version": API_VERSION}))
 
     # -- routing -------------------------------------------------------
 
@@ -348,32 +551,30 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             params = parse_qs(urlsplit(self.path).query)
-            if route == "/healthz":
+            if route == "/v1/healthz":
                 self._dispatch(self._healthz)
-            elif route == "/readyz":
+            elif route == "/v1/readyz":
                 self._dispatch(self._readyz)
-            elif route == "/stats":
+            elif route == "/v1/stats":
                 self._dispatch(self._stats)
-            elif route == "/manufacturers":
-                self._dispatch(self._manufacturers)
-            elif route == "/query":
+            elif route == "/v1/manufacturers":
+                self._dispatch(self._manufacturers, params)
+            elif route == "/v1/query":
                 self._dispatch(self._query_get, params)
             elif route == "/metrics":
                 self._metrics_exposition()
-            elif route.startswith("/metrics/"):
+            elif route.startswith("/v1/metrics/"):
                 self._dispatch(self._metric,
-                               route[len("/metrics/"):], params)
+                               route[len("/v1/metrics/"):], params)
             else:
-                self._send_json(404, {"error": f"unknown path "
-                                               f"{self.path!r}"})
+                self._not_found()
         finally:
             self._finish()
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         route = self._begin(self.path)
-        if route != "/query":
-            self._send_json(404, {"error": f"unknown path "
-                                           f"{self.path!r}"})
+        if route != "/v1/query":
+            self._not_found()
             return
         if not self._admit(route):
             return
@@ -382,8 +583,9 @@ class _Handler(BaseHTTPRequestHandler):
                 length = int(self.headers.get("Content-Length", "0"))
                 data = json.loads(self.rfile.read(length) or b"{}")
             except (ValueError, json.JSONDecodeError) as exc:
-                self._send_json(400, {"error": f"request body is not "
-                                               f"valid JSON: {exc}"})
+                self._send_json(400, error_envelope(
+                    "bad_json",
+                    f"request body is not valid JSON: {exc}"))
                 return
             self._dispatch(self._query_post, data)
         finally:
@@ -424,24 +626,67 @@ class _Handler(BaseHTTPRequestHandler):
     def _stats(self) -> tuple[int, Any]:
         return 200, self.engine.stats()
 
-    def _manufacturers(self) -> tuple[int, Any]:
-        return 200, {
-            "manufacturers": list(self.engine.index.manufacturers),
-        }
+    def _manufacturers(self, params) -> tuple[int, Any]:
+        limit, cursor = _page_args(
+            params.get("limit", [None])[-1],
+            params.get("cursor", [None])[-1])
+        names = list(self.engine.index.manufacturers)
+        if limit is None and cursor is None:
+            return 200, {"manufacturers": names}
+        window, page = _paginate(names, self.engine.fingerprint,
+                                 limit, cursor)
+        return 200, {"manufacturers": window, "page": page}
 
     def _query_get(self, params) -> tuple[int, Any]:
+        params = dict(params)
+        limit, cursor = _page_args(
+            params.pop("limit", [None])[-1],
+            params.pop("cursor", [None])[-1])
         query = _query_from_params(params)
-        return 200, self.engine.execute(query).to_dict()
+        result = self.engine.execute(query)
+        return 200, self._query_body(result, limit, cursor)
 
     def _query_post(self, data) -> tuple[int, Any]:
-        return 200, self.engine.execute(Query.from_dict(data)).to_dict()
+        if not isinstance(data, dict):
+            raise QueryError("request body must be a JSON object")
+        data = dict(data)
+        limit, cursor = _page_args(data.pop("limit", None),
+                                   data.pop("cursor", None))
+        result = self.engine.execute(Query.from_dict(data))
+        return 200, self._query_body(result, limit, cursor)
+
+    def _query_body(self, result, limit: int | None,
+                    cursor: str | None) -> Any:
+        """The ``/v1/query`` body — paginated only on request.
+
+        The page is a *view* over the (possibly cached) result value:
+        the cached dict itself is never mutated, and an unpaginated
+        request returns the exact body earlier releases served.
+        """
+        body = result.to_dict()
+        if limit is None and cursor is None:
+            return body
+        if result.query.group_by is None or not isinstance(
+                result.value, dict):
+            raise QueryError(
+                "pagination requires a grouped query: set group_by, "
+                "or drop the limit/cursor parameters")
+        items = list(result.value.items())
+        window, page = _paginate(items, result.fingerprint, limit,
+                                 cursor)
+        body["result"] = dict(window)
+        body["page"] = page
+        return body
 
     def _metrics_exposition(self) -> None:
         """``GET /metrics``: the registry as Prometheus text.
 
         Cache and index levels are *sampled at scrape time* — they are
         gauges owned by the engine, not counters the request path
-        maintains — so a scrape always reflects the live state.
+        maintains — so a scrape always reflects the live state.  A
+        ``metrics_renderer`` hook on the server object overrides the
+        final rendering (the pre-fork worker aggregates every
+        sibling's registry dump there).
         """
         registry: MetricsRegistry = self.server.metrics
         stats = self.engine.stats()
@@ -463,18 +708,23 @@ class _Handler(BaseHTTPRequestHandler):
             ("kind",))
         for kind in ("disengagements", "accidents", "mileage_cells"):
             index_g.labels(kind).set(stats["index"][kind])
-        body = registry.render_prometheus().encode("utf-8")
-        self._send_body(200, "text/plain; version=0.0.4", body)
+        renderer = getattr(self.server, "metrics_renderer", None)
+        if renderer is not None:
+            text = renderer(registry)
+        else:
+            text = registry.render_prometheus()
+        self._send_body(200, "text/plain; version=0.0.4",
+                        text.encode("utf-8"))
 
     def _metric(self, name: str, params) -> tuple[int, Any]:
         if name not in METRIC_SHORTCUTS:
-            return 404, {"error": f"unknown metric endpoint {name!r}; "
-                                  f"known: "
-                                  f"{', '.join(METRIC_SHORTCUTS)}"}
+            return 404, error_envelope(
+                "not_found", f"unknown metric endpoint {name!r}",
+                {"known": list(METRIC_SHORTCUTS)})
         if "metric" in params:
             raise QueryError(
-                "/metrics/* fixes the metric; drop the 'metric' "
-                "parameter or use /query")
+                "/v1/metrics/* fixes the metric; drop the 'metric' "
+                "parameter or use /v1/query")
         query = _query_from_params({**params, "metric": [name]})
         return 200, self.engine.execute(query).to_dict()
 
@@ -486,7 +736,7 @@ class QueryServer:
     that serves from a daemon thread — the test/embedding mode::
 
         with QueryServer(db, port=0) as server:
-            urllib.request.urlopen(server.url + "/healthz")
+            urllib.request.urlopen(server.url + "/v1/healthz")
 
     Accepts a raw :class:`~repro.pipeline.store.FailureDatabase`, a
     prebuilt :class:`~repro.query.engine.QueryEngine`, or a
@@ -495,7 +745,9 @@ class QueryServer:
     bounds concurrent admitted requests (0 = unbounded);
     ``deadline_s`` is the per-request budget (0 = none);
     ``drain_timeout_s`` caps how long :meth:`shutdown` waits for
-    in-flight requests before closing anyway.
+    in-flight requests before closing anyway.  ``index_backend``
+    (``monolithic`` / ``sharded``) and ``shards`` pick the index
+    layout when the server builds the engine itself.
     """
 
     def __init__(self, db: FailureDatabase | QueryEngine
@@ -507,6 +759,10 @@ class QueryServer:
                  max_inflight: int = 64,
                  deadline_s: float = 10.0,
                  drain_timeout_s: float = 5.0,
+                 index_backend: str = "monolithic",
+                 shards: int = DEFAULT_SHARDS,
+                 reuse_port: bool = False,
+                 listen_socket: socket.socket | None = None,
                  chaos: ServingChaos | None = None) -> None:
         # The process-global registry by default, so a pipeline run in
         # this process shows up on the same /metrics scrape.
@@ -516,9 +772,12 @@ class QueryServer:
         else:
             self.snapshots = SnapshotManager(
                 db, cache_size=cache_size, registry=self.registry,
+                index_backend=index_backend, shards=shards,
                 chaos=chaos)
         self.drain_timeout_s = drain_timeout_s
-        httpd = _QueryHTTPServer((host, port), _Handler)
+        httpd = _QueryHTTPServer((host, port), _Handler,
+                                 reuse_port=reuse_port,
+                                 listen_socket=listen_socket)
         httpd.snapshots = self.snapshots
         httpd.verbose = verbose
         httpd.metrics = self.registry
@@ -562,6 +821,17 @@ class QueryServer:
     def url(self) -> str:
         """Base URL of the running server."""
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def metrics_renderer(self) -> Callable[[MetricsRegistry], str] | None:
+        """Override for the ``/metrics`` body (see the handler)."""
+        return self._httpd.metrics_renderer
+
+    @metrics_renderer.setter
+    def metrics_renderer(
+            self, renderer: Callable[[MetricsRegistry], str] | None,
+            ) -> None:
+        self._httpd.metrics_renderer = renderer
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
@@ -629,12 +899,15 @@ def serve(db: FailureDatabase, host: str = "127.0.0.1",
           port: int = 8350, *, cache_size: int = 256,
           verbose: bool = True, max_inflight: int = 64,
           deadline_s: float = 10.0,
+          index_backend: str = "monolithic",
+          shards: int = DEFAULT_SHARDS,
           watch: str | Path | None = None,
           watch_interval_s: float = 2.0) -> None:
     """Blocking convenience entry point (the ``repro serve`` verb)."""
     server = QueryServer(db, host, port, cache_size=cache_size,
                          verbose=verbose, max_inflight=max_inflight,
-                         deadline_s=deadline_s)
+                         deadline_s=deadline_s,
+                         index_backend=index_backend, shards=shards)
     if watch is not None:
         server.watch(watch, watch_interval_s)
     try:

@@ -46,7 +46,7 @@ from ..obs.metrics import (
 from ..pipeline.chaos import ServingChaos
 from ..pipeline.checkpoint import sha256_text
 from ..pipeline.store import FailureDatabase
-from .engine import QueryEngine
+from .engine import DEFAULT_SHARDS, QueryEngine
 
 
 @dataclass(frozen=True)
@@ -87,11 +87,22 @@ class SnapshotManager:
 
     def __init__(self, db: FailureDatabase | QueryEngine, *,
                  source: str | None = None, cache_size: int = 256,
+                 index_backend: str = "monolithic",
+                 shards: int = DEFAULT_SHARDS,
                  registry: MetricsRegistry | None = None,
                  chaos: ServingChaos | None = None) -> None:
-        engine = (db if isinstance(db, QueryEngine)
-                  else QueryEngine(db, cache_size=cache_size))
+        if isinstance(db, QueryEngine):
+            engine = db
+            # Replacement engines built here (swap_database / load)
+            # keep the layout the caller's engine already chose.
+            index_backend = db.index_backend
+        else:
+            engine = QueryEngine(db, cache_size=cache_size,
+                                 index_backend=index_backend,
+                                 shards=shards)
         self._cache_size = cache_size
+        self._index_backend = index_backend
+        self._shards = shards
         self._chaos = chaos
         self._lock = threading.Lock()
         self._quarantined = 0
@@ -181,7 +192,7 @@ class SnapshotManager:
                 return False
             if self._chaos is not None:
                 self._chaos.reached("swap-build")
-            engine = QueryEngine(db, cache_size=self._cache_size)
+            engine = self._build_engine(db)
             if self._chaos is not None:
                 self._chaos.reached("swap-publish")
             self._publish(engine, fingerprint, source)
@@ -237,7 +248,7 @@ class SnapshotManager:
                 return False
             if self._chaos is not None:
                 self._chaos.reached("swap-build")
-            engine = QueryEngine(db, cache_size=self._cache_size)
+            engine = self._build_engine(db)
             if self._chaos is not None:
                 self._chaos.reached("swap-publish")
             self._publish(engine, fingerprint, str(path))
@@ -246,6 +257,12 @@ class SnapshotManager:
     # ------------------------------------------------------------------
     # Internals (all called under the swap lock).
     # ------------------------------------------------------------------
+
+    def _build_engine(self, db: FailureDatabase) -> QueryEngine:
+        """Build a replacement engine with this manager's layout."""
+        return QueryEngine(db, cache_size=self._cache_size,
+                           index_backend=self._index_backend,
+                           shards=self._shards)
 
     def _read_candidate(self, path: Path) -> FailureDatabase:
         """Read + verify one candidate file (chaos garbles pre-decode,

@@ -333,12 +333,13 @@ class TestExposition:
         assert families[HTTP_LATENCY] == "histogram"
         assert families[QUERY_CACHE_HITS] == "gauge"
         assert families[INDEX_RECORDS] == "gauge"
-        assert f'{HTTP_REQUESTS}{{route="/query",status="200"}} 2' \
-            in text
+        # Legacy /query hits fold into the canonical /v1 label.
+        assert (f'{HTTP_REQUESTS}{{route="/v1/query",status="200"}} 2'
+                in text)
         assert 'route="<unknown>"' in text  # 404s fold into one label
         buckets = [l for l in text.splitlines()
                    if l.startswith(f"{HTTP_LATENCY}_bucket")
-                   and 'route="/query"' in l]
+                   and 'route="/v1/query"' in l]
         assert len(buckets) == len(DEFAULT_BUCKETS) + 1  # +Inf
 
     def test_default_registry_is_shared(self):

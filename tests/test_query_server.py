@@ -121,23 +121,31 @@ class TestEndpoints:
 class TestErrors:
     def test_unknown_path_404(self, server):
         code, body = _error(server, "/nope")
-        assert code == 404 and "unknown path" in body["error"]
+        assert code == 404
+        assert body["error"]["code"] == "not_found"
+        assert "unknown path" in body["error"]["message"]
 
     def test_unknown_metric_endpoint_404(self, server):
-        code, body = _error(server, "/metrics/frobnicate")
-        assert code == 404 and "unknown metric" in body["error"]
+        code, body = _error(server, "/v1/metrics/frobnicate")
+        assert code == 404
+        assert body["error"]["code"] == "not_found"
+        assert "unknown metric" in body["error"]["message"]
 
     def test_bad_query_400(self, server):
         code, body = _error(server, "/query?metric=frobnicate")
-        assert code == 400 and "unknown metric" in body["error"]
+        assert code == 400
+        assert body["error"]["code"] == "invalid_query"
+        assert "unknown metric" in body["error"]["message"]
 
     def test_unknown_parameter_400(self, server):
         code, body = _error(server, "/query?metric=dpm&frob=1")
-        assert code == 400 and "unknown query parameter" in body["error"]
+        assert code == 400
+        assert "unknown query parameter" in body["error"]["message"]
 
     def test_metric_shortcut_rejects_metric_param(self, server):
         code, body = _error(server, "/metrics/dpm?metric=apm")
-        assert code == 400 and "fixes the metric" in body["error"]
+        assert code == 400
+        assert "fixes the metric" in body["error"]["message"]
 
     def test_post_bad_json_400(self, server):
         request = urllib.request.Request(
@@ -162,7 +170,8 @@ class TestErrors:
         with QueryServer(empty_accidents, port=0) as server:
             code, body = _error(server, "/metrics/apm")
             assert code == 422
-            assert "no accidents" in body["error"]
+            assert body["error"]["code"] == "insufficient_data"
+            assert "no accidents" in body["error"]["message"]
 
 
 class TestConcurrency:

@@ -112,8 +112,8 @@ class TestAdmissionControl:
                 code, headers, body = _get_error(
                     server, "/query?metric=dpm")
                 assert code == 503
-                assert body["reason"] == "overloaded"
-                assert body["retry_after_s"] == 1
+                assert body["error"]["code"] == "overloaded"
+                assert body["error"]["detail"]["retry_after_s"] == 1
                 assert headers["Retry-After"] == "1"
                 # Probes and scrapes are exempt from admission.
                 assert _get(server, "/healthz")[0] == 200
@@ -137,7 +137,7 @@ class TestAdmissionControl:
             code, headers, body = _get_error(
                 server, "/query?metric=dpm")
             assert code == 503
-            assert body["reason"] == "draining"
+            assert body["error"]["code"] == "draining"
             assert headers["Retry-After"] == "1"
         finally:
             server.shutdown()
@@ -188,8 +188,8 @@ class TestDeadlines:
             code, headers, body = _get_error(
                 server, "/query?metric=dpm")
             assert code == 503
-            assert body["reason"] == "deadline"
-            assert "deadline exceeded" in body["error"]
+            assert body["error"]["code"] == "deadline_exceeded"
+            assert "deadline exceeded" in body["error"]["message"]
             assert headers["Retry-After"] == "1"
             assert chaos.injected_delays == 1
             # Exempt probes never run the chaos delay or the budget.
@@ -216,7 +216,10 @@ class TestSanitized500:
             finally:
                 engine.execute = original
             assert code == 500
-            assert body == {"error": "internal server error"}
+            assert body == {"error": {
+                "code": "internal",
+                "message": "internal server error",
+                "detail": None}}
 
 
 class TestWatchMode:
